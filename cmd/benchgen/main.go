@@ -1,0 +1,89 @@
+// Command benchgen writes the repository's benchmark circuits as OpenQASM
+// 2.0 files, so they can be fed to other toolchains (or back into musstic
+// -qasm for a round trip).
+//
+//	benchgen -out ./qasm Adder_n32 QFT_n32 SQRT_n117
+//	benchgen -out ./qasm -suite small
+//	benchgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mussti"
+)
+
+func main() {
+	out := flag.String("out", ".", "output directory")
+	suite := flag.String("suite", "", "write a whole suite: small | medium | large")
+	list := flag.Bool("list", false, "list benchmark families and exit")
+	lower := flag.Bool("lower", false, "lower to the native gate set before writing")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(mussti.BenchmarkFamilies(), " "))
+		return
+	}
+
+	names := flag.Args()
+	switch *suite {
+	case "":
+	case "small":
+		names = append(names, smallSuite...)
+	case "medium":
+		names = append(names, mediumSuite...)
+	case "large":
+		names = append(names, largeSuite...)
+	default:
+		fmt.Fprintf(os.Stderr, "benchgen: unknown suite %q (want small, medium or large)\n", *suite)
+		os.Exit(2)
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgen: nothing to write; pass names (e.g. GHZ_n32) or -suite")
+		os.Exit(2)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	for _, name := range names {
+		c, err := mussti.BenchmarkByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(2)
+		}
+		if *lower {
+			c = mussti.OptimizeOneQubit(mussti.LowerToNative(c))
+		}
+		path := filepath.Join(*out, name+".qasm")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := c.WriteQASM(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		st := c.Stats()
+		fmt.Printf("wrote %-28s %4d qubits  %5d gates (%d 2q)\n", path, st.Qubits, st.Gates, st.TwoQubit)
+	}
+}
+
+// The paper's three suites, mirrored here so the tool stays dependency-free
+// of internal packages.
+var (
+	smallSuite  = []string{"Adder_n32", "BV_n32", "QAOA_n32", "GHZ_n32", "QFT_n32", "SQRT_n30"}
+	mediumSuite = []string{"Adder_n128", "BV_n128", "QAOA_n128", "GHZ_n128", "SQRT_n117"}
+	largeSuite  = []string{"Adder_n256", "BV_n256", "QAOA_n256", "GHZ_n256", "RAN_n256", "SC_n274", "SQRT_n299"}
+)

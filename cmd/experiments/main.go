@@ -1,0 +1,64 @@
+// Command experiments regenerates the tables and figures of the MUSS-TI
+// paper (MICRO 2025). Without flags it runs everything in paper order;
+// -exp selects one ("table2", "fig6", ... "fig13"), -list enumerates them.
+//
+//	go run ./cmd/experiments -exp table2
+//	go run ./cmd/experiments                # full evaluation (minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mussti"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range mussti.ExperimentList() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	run := func(e mussti.ExperimentInfo) error {
+		start := time.Now()
+		out, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("== %s — %s ==\n\n%s(completed in %s)\n\n", e.ID, e.Description, out, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *exp != "" {
+		found := false
+		for _, e := range mussti.ExperimentList() {
+			if e.ID == *exp {
+				found = true
+				if err := run(e); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		return
+	}
+
+	for _, e := range mussti.ExperimentList() {
+		if err := run(e); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadCircuitFromBench(t *testing.T) {
+	c, err := loadCircuit("GHZ_n8", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 8 {
+		t.Errorf("qubits = %d, want 8", c.NumQubits)
+	}
+}
+
+func TestLoadCircuitFromQASM(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bell.qasm")
+	src := "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := loadCircuit("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "bell" {
+		t.Errorf("name = %q, want bell (from file stem)", c.Name)
+	}
+	if len(c.Gates) != 2 {
+		t.Errorf("gates = %d, want 2", len(c.Gates))
+	}
+}
+
+func TestLoadCircuitErrors(t *testing.T) {
+	if _, err := loadCircuit("", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadCircuit("GHZ_n8", "x.qasm"); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadCircuit("", "/does/not/exist.qasm"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := loadCircuit("Bogus_n8", ""); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

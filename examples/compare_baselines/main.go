@@ -1,0 +1,55 @@
+// Compare baselines: run one application through all four compilers of the
+// paper's Table 2 — the MQT-style dedicated-zone shuttler [70], the greedy
+// Murali et al. grid compiler [55], the Dai et al. advanced shuttle
+// strategies [13], and MUSS-TI — on the same 2×3 grid structure, and print
+// the comparison row.
+//
+//	go run ./examples/compare_baselines [Application_nNN]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mussti"
+)
+
+func main() {
+	app := "SQRT_n30"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	c, err := mussti.BenchmarkByName(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const rows, cols, capacity = 2, 3, 8
+	g, err := mussti.NewGrid(rows, cols, capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on a %dx%d QCCD grid (trap capacity %d)\n\n", app, rows, cols, capacity)
+	fmt.Printf("%-12s  %9s  %12s  %12s\n", "compiler", "shuttles", "exec (µs)", "fidelity")
+
+	for _, algo := range []mussti.BaselineAlgorithm{
+		mussti.BaselineMQT, mussti.BaselineMurali, mussti.BaselineDai,
+	} {
+		res, err := mussti.CompileBaseline(algo, c, g, mussti.BaselineOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.Metrics
+		fmt.Printf("%-12s  %9d  %12.0f  %12.3g\n", algo, m.Shuttles, m.MakespanUS, m.Fidelity.Value())
+	}
+
+	// MUSS-TI schedules the same grid through its multi-level scheduler
+	// (LRU replacement, executable-first selection, SABRE mapping).
+	res, err := mussti.Compile(c, g.Device(), mussti.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Metrics
+	fmt.Printf("%-12s  %9d  %12.0f  %12.3g\n", "MUSS-TI", m.Shuttles, m.MakespanUS, m.Fidelity.Value())
+}

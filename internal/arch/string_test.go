@@ -1,0 +1,27 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeviceString(t *testing.T) {
+	d := MustNew(DefaultConfig(128))
+	s := d.String()
+	for _, want := range []string{"4 modules", "2×storage(16)", "1×operation(16)", "1×optical(16)", "≤32"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("device string %q missing %q", s, want)
+		}
+	}
+	empty := &Device{}
+	if !strings.Contains(empty.String(), "empty") {
+		t.Errorf("empty device string = %q", empty.String())
+	}
+}
+
+func TestGridString(t *testing.T) {
+	g := MustNewGrid(2, 3, 8)
+	if got := g.String(); got != "QCCD grid 2x3, trap capacity 8" {
+		t.Errorf("grid string = %q", got)
+	}
+}

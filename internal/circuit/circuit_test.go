@@ -1,0 +1,183 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildersAppendExpectedGates(t *testing.T) {
+	c := New("t", 3)
+	c.H(0)
+	c.X(1)
+	c.RZ(0.5, 2)
+	c.CX(0, 1)
+	c.CP(0.25, 1, 2)
+	c.Measure(0)
+	if len(c.Gates) != 6 {
+		t.Fatalf("got %d gates, want 6", len(c.Gates))
+	}
+	wantKinds := []Kind{KindH, KindX, KindRZ, KindCX, KindCP, KindMeasure}
+	for i, k := range wantKinds {
+		if c.Gates[i].Kind != k {
+			t.Errorf("gate %d kind = %v, want %v", i, c.Gates[i].Kind, k)
+		}
+	}
+	if c.Gates[2].Param != 0.5 {
+		t.Errorf("rz param = %v, want 0.5", c.Gates[2].Param)
+	}
+}
+
+func TestAppendPanicsOnBadOperands(t *testing.T) {
+	cases := []Gate{
+		NewGate1(KindH, 5),     // out of range
+		NewGate1(KindH, -1),    // negative
+		NewGate2(KindCX, 0, 3), // second out of range
+		NewGate2(KindCX, 1, 1), // identical operands
+	}
+	for _, g := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Append(%v) did not panic", g)
+				}
+			}()
+			c := New("t", 3)
+			c.Append(g)
+		}()
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New("t", 4)
+	c.H(0)
+	c.CX(0, 1) // layer 1
+	c.CX(2, 3) // layer 1
+	c.CX(1, 2) // layer 2
+	c.Measure(0)
+	c.Measure(1)
+	s := c.Stats()
+	if s.Qubits != 4 || s.Gates != 6 {
+		t.Errorf("qubits/gates = %d/%d, want 4/6", s.Qubits, s.Gates)
+	}
+	if s.OneQubit != 1 || s.TwoQubit != 3 || s.Measures != 2 {
+		t.Errorf("1q/2q/meas = %d/%d/%d, want 1/3/2", s.OneQubit, s.TwoQubit, s.Measures)
+	}
+	if s.Depth != 2 {
+		t.Errorf("depth = %d, want 2", s.Depth)
+	}
+	if s.UsedPairs != 3 {
+		t.Errorf("used pairs = %d, want 3", s.UsedPairs)
+	}
+}
+
+func TestTwoQubitGates(t *testing.T) {
+	c := New("t", 3)
+	c.H(0)
+	c.CX(0, 1)
+	c.X(2)
+	c.CZ(1, 2)
+	idx := c.TwoQubitGates()
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Errorf("two-qubit gate indices = %v, want [1 3]", idx)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	c := New("t", 3)
+	c.H(0)
+	c.CX(0, 1)
+	c.CZ(1, 2)
+	r := c.Reverse()
+	if r.NumQubits != 3 || len(r.Gates) != 3 {
+		t.Fatalf("reverse shape wrong: %d qubits %d gates", r.NumQubits, len(r.Gates))
+	}
+	if r.Gates[0].Kind != KindCZ || r.Gates[2].Kind != KindH {
+		t.Errorf("reverse order wrong: %v ... %v", r.Gates[0], r.Gates[2])
+	}
+	// Reversing twice restores the original order.
+	rr := r.Reverse()
+	for i := range c.Gates {
+		if rr.Gates[i] != c.Gates[i] {
+			t.Fatalf("double reverse gate %d = %v, want %v", i, rr.Gates[i], c.Gates[i])
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	c := New("t", 2)
+	c.CX(0, 1)
+	cl := c.Clone()
+	cl.H(0)
+	if len(c.Gates) != 1 {
+		t.Errorf("clone mutation leaked into original: %d gates", len(c.Gates))
+	}
+	if len(cl.Gates) != 2 {
+		t.Errorf("clone has %d gates, want 2", len(cl.Gates))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := New("t", 2)
+	c.CX(0, 1)
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid circuit rejected: %v", err)
+	}
+	bad := &Circuit{Name: "bad", NumQubits: 2, Gates: []Gate{NewGate2(KindCX, 0, 5)}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range gate accepted")
+	}
+	empty := &Circuit{Name: "e", NumQubits: 0}
+	if err := empty.Validate(); err == nil {
+		t.Error("zero-qubit circuit accepted")
+	}
+}
+
+func TestInteractionCount(t *testing.T) {
+	c := New("t", 3)
+	c.CX(0, 1)
+	c.CX(1, 0) // same unordered pair
+	c.CZ(1, 2)
+	m := c.InteractionCount()
+	if m[[2]int{0, 1}] != 2 {
+		t.Errorf("pair (0,1) count = %d, want 2", m[[2]int{0, 1}])
+	}
+	if m[[2]int{1, 2}] != 1 {
+		t.Errorf("pair (1,2) count = %d, want 1", m[[2]int{1, 2}])
+	}
+	if len(m) != 2 {
+		t.Errorf("pair count = %d, want 2", len(m))
+	}
+}
+
+func TestToffoliDecomposition(t *testing.T) {
+	c := New("t", 3)
+	c.Toffoli(0, 1, 2)
+	s := c.Stats()
+	if s.TwoQubit != 6 {
+		t.Errorf("toffoli 2q gates = %d, want 6 CX", s.TwoQubit)
+	}
+	if s.OneQubit != 9 {
+		t.Errorf("toffoli 1q gates = %d, want 9 (2H + 7 T-family)", s.OneQubit)
+	}
+	for _, g := range c.Gates {
+		if g.Kind.IsTwoQubit() && g.Kind != KindCX {
+			t.Errorf("unexpected 2q kind %v in decomposition", g.Kind)
+		}
+	}
+}
+
+func TestStatsEmptyCircuit(t *testing.T) {
+	c := New("empty", 5)
+	s := c.Stats()
+	if s.Depth != 0 || s.TwoQubit != 0 || s.UsedPairs != 0 {
+		t.Errorf("empty circuit stats = %+v", s)
+	}
+}
+
+func TestCircuitStringsMentionQubits(t *testing.T) {
+	c := New("t", 2)
+	c.CX(0, 1)
+	if !strings.Contains(c.Gates[0].String(), "q[0]") {
+		t.Errorf("gate string %q lacks operand", c.Gates[0].String())
+	}
+}

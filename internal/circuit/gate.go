@@ -1,0 +1,183 @@
+// Package circuit provides the quantum-circuit intermediate representation
+// used throughout the MUSS-TI compiler: gates, circuits, and a small
+// OpenQASM 2.0 import/export subset.
+//
+// The representation is deliberately minimal. Trapped-ion compilers such as
+// MUSS-TI care about which qubits a gate touches and in what order gates
+// appear; the unitary itself is irrelevant to shuttle scheduling. Gates are
+// therefore stored as a kind tag, the qubit operands, and an optional angle
+// parameter.
+package circuit
+
+import "fmt"
+
+// Kind identifies the operation a Gate performs.
+type Kind uint8
+
+// Gate kinds. One- and two-qubit gates common in trapped-ion programs.
+// Two-qubit entangling gates are modelled after the Mølmer–Sørensen (MS)
+// family; CX/CZ/CP are retained so that imported QASM keeps its identity,
+// but the scheduler treats every two-qubit kind identically.
+const (
+	// KindInvalid is the zero Kind; it never appears in a valid circuit.
+	KindInvalid Kind = iota
+
+	// One-qubit gates.
+	KindH
+	KindX
+	KindY
+	KindZ
+	KindS
+	KindSdg
+	KindT
+	KindTdg
+	KindRX
+	KindRY
+	KindRZ
+	KindU // generic one-qubit unitary (angles ignored beyond Param)
+
+	// Two-qubit gates.
+	KindMS   // Mølmer–Sørensen entangling gate (native trapped-ion 2q gate)
+	KindCX   // controlled-X, compiled to MS on hardware
+	KindCZ   // controlled-Z
+	KindCP   // controlled-phase (parameterised, used by QFT)
+	KindRXX  // XX rotation (QAOA cost unitary on ions)
+	KindRZZ  // ZZ rotation
+	KindSwap // explicit SWAP in the source program (3 MS equivalents)
+
+	// Non-unitary markers.
+	KindMeasure
+	KindBarrier
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid: "invalid",
+	KindH:       "h",
+	KindX:       "x",
+	KindY:       "y",
+	KindZ:       "z",
+	KindS:       "s",
+	KindSdg:     "sdg",
+	KindT:       "t",
+	KindTdg:     "tdg",
+	KindRX:      "rx",
+	KindRY:      "ry",
+	KindRZ:      "rz",
+	KindU:       "u",
+	KindMS:      "ms",
+	KindCX:      "cx",
+	KindCZ:      "cz",
+	KindCP:      "cp",
+	KindRXX:     "rxx",
+	KindRZZ:     "rzz",
+	KindSwap:    "swap",
+	KindMeasure: "measure",
+	KindBarrier: "barrier",
+}
+
+// String returns the lower-case OpenQASM-style mnemonic for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Arity reports how many qubit operands a gate of this kind takes.
+// Barrier is variadic and reports 0.
+func (k Kind) Arity() int {
+	switch k {
+	case KindH, KindX, KindY, KindZ, KindS, KindSdg, KindT, KindTdg,
+		KindRX, KindRY, KindRZ, KindU, KindMeasure:
+		return 1
+	case KindMS, KindCX, KindCZ, KindCP, KindRXX, KindRZZ, KindSwap:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// IsTwoQubit reports whether the kind entangles two qubits. These are the
+// gates the shuttle scheduler must route for.
+func (k Kind) IsTwoQubit() bool { return k.Arity() == 2 }
+
+// IsOneQubit reports whether the kind acts on a single qubit (measurement
+// included: it is executed in place like a one-qubit operation).
+func (k Kind) IsOneQubit() bool { return k.Arity() == 1 }
+
+// Gate is a single operation in a circuit.
+//
+// For one-qubit gates only Qubits[0] is meaningful. For two-qubit gates the
+// operand order follows the source program (control first for CX/CZ/CP); the
+// scheduler treats the pair symmetrically, as MS gates are symmetric on ions.
+type Gate struct {
+	Kind   Kind
+	Qubits [2]int
+	Param  float64 // rotation angle where applicable; 0 otherwise
+}
+
+// NewGate1 builds a one-qubit gate.
+func NewGate1(k Kind, q int) Gate {
+	return Gate{Kind: k, Qubits: [2]int{q, -1}}
+}
+
+// NewGate2 builds a two-qubit gate.
+func NewGate2(k Kind, a, b int) Gate {
+	return Gate{Kind: k, Qubits: [2]int{a, b}}
+}
+
+// Operands returns the slice of qubits the gate acts on (length 1 or 2).
+func (g Gate) Operands() []int {
+	switch g.Kind.Arity() {
+	case 1:
+		return []int{g.Qubits[0]}
+	case 2:
+		return []int{g.Qubits[0], g.Qubits[1]}
+	default:
+		return nil
+	}
+}
+
+// Other returns the partner qubit of q in a two-qubit gate, or -1 when g is
+// not a two-qubit gate or does not touch q.
+func (g Gate) Other(q int) int {
+	if !g.Kind.IsTwoQubit() {
+		return -1
+	}
+	switch q {
+	case g.Qubits[0]:
+		return g.Qubits[1]
+	case g.Qubits[1]:
+		return g.Qubits[0]
+	}
+	return -1
+}
+
+// Touches reports whether the gate acts on qubit q.
+func (g Gate) Touches(q int) bool {
+	switch g.Kind.Arity() {
+	case 1:
+		return g.Qubits[0] == q
+	case 2:
+		return g.Qubits[0] == q || g.Qubits[1] == q
+	}
+	return false
+}
+
+// String renders the gate in a compact OpenQASM-like form.
+func (g Gate) String() string {
+	switch g.Kind.Arity() {
+	case 1:
+		if g.Param != 0 {
+			return fmt.Sprintf("%s(%g) q[%d]", g.Kind, g.Param, g.Qubits[0])
+		}
+		return fmt.Sprintf("%s q[%d]", g.Kind, g.Qubits[0])
+	case 2:
+		if g.Param != 0 {
+			return fmt.Sprintf("%s(%g) q[%d],q[%d]", g.Kind, g.Param, g.Qubits[0], g.Qubits[1])
+		}
+		return fmt.Sprintf("%s q[%d],q[%d]", g.Kind, g.Qubits[0], g.Qubits[1])
+	default:
+		return g.Kind.String()
+	}
+}

@@ -1,0 +1,107 @@
+package circuit
+
+import "testing"
+
+func TestKindArity(t *testing.T) {
+	oneQ := []Kind{KindH, KindX, KindY, KindZ, KindS, KindSdg, KindT, KindTdg, KindRX, KindRY, KindRZ, KindU, KindMeasure}
+	twoQ := []Kind{KindMS, KindCX, KindCZ, KindCP, KindRXX, KindRZZ, KindSwap}
+	for _, k := range oneQ {
+		if k.Arity() != 1 {
+			t.Errorf("%v: arity = %d, want 1", k, k.Arity())
+		}
+		if !k.IsOneQubit() || k.IsTwoQubit() {
+			t.Errorf("%v: classification wrong", k)
+		}
+	}
+	for _, k := range twoQ {
+		if k.Arity() != 2 {
+			t.Errorf("%v: arity = %d, want 2", k, k.Arity())
+		}
+		if k.IsOneQubit() || !k.IsTwoQubit() {
+			t.Errorf("%v: classification wrong", k)
+		}
+	}
+	if KindBarrier.Arity() != 0 {
+		t.Errorf("barrier arity = %d, want 0", KindBarrier.Arity())
+	}
+	if KindInvalid.Arity() != 0 {
+		t.Errorf("invalid arity = %d, want 0", KindInvalid.Arity())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindH:       "h",
+		KindMS:      "ms",
+		KindCP:      "cp",
+		KindMeasure: "measure",
+		Kind(200):   "kind(200)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestGateOperands(t *testing.T) {
+	g1 := NewGate1(KindH, 3)
+	if ops := g1.Operands(); len(ops) != 1 || ops[0] != 3 {
+		t.Errorf("1q operands = %v, want [3]", ops)
+	}
+	g2 := NewGate2(KindCX, 1, 5)
+	if ops := g2.Operands(); len(ops) != 2 || ops[0] != 1 || ops[1] != 5 {
+		t.Errorf("2q operands = %v, want [1 5]", ops)
+	}
+	b := Gate{Kind: KindBarrier}
+	if ops := b.Operands(); ops != nil {
+		t.Errorf("barrier operands = %v, want nil", ops)
+	}
+}
+
+func TestGateOther(t *testing.T) {
+	g := NewGate2(KindMS, 2, 7)
+	if p := g.Other(2); p != 7 {
+		t.Errorf("Other(2) = %d, want 7", p)
+	}
+	if p := g.Other(7); p != 2 {
+		t.Errorf("Other(7) = %d, want 2", p)
+	}
+	if p := g.Other(4); p != -1 {
+		t.Errorf("Other(4) = %d, want -1", p)
+	}
+	g1 := NewGate1(KindH, 2)
+	if p := g1.Other(2); p != -1 {
+		t.Errorf("one-qubit Other = %d, want -1", p)
+	}
+}
+
+func TestGateTouches(t *testing.T) {
+	g := NewGate2(KindCZ, 0, 9)
+	for q, want := range map[int]bool{0: true, 9: true, 4: false} {
+		if got := g.Touches(q); got != want {
+			t.Errorf("Touches(%d) = %v, want %v", q, got, want)
+		}
+	}
+	g1 := NewGate1(KindX, 5)
+	if !g1.Touches(5) || g1.Touches(0) {
+		t.Error("one-qubit Touches wrong")
+	}
+}
+
+func TestGateString(t *testing.T) {
+	cases := []struct {
+		g    Gate
+		want string
+	}{
+		{NewGate1(KindH, 2), "h q[2]"},
+		{NewGate2(KindCX, 0, 1), "cx q[0],q[1]"},
+		{Gate{Kind: KindRZ, Qubits: [2]int{4, -1}, Param: 1.5}, "rz(1.5) q[4]"},
+		{Gate{Kind: KindBarrier}, "barrier"},
+	}
+	for _, c := range cases {
+		if got := c.g.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLowerToNativeKinds(t *testing.T) {
+	c := New("t", 3)
+	c.H(0)
+	c.CX(0, 1)
+	c.CZ(1, 2)
+	c.CP(math.Pi/4, 0, 2)
+	c.Swap(0, 1)
+	c.Measure(0)
+	n := LowerToNative(c)
+	for _, g := range n.Gates {
+		switch g.Kind {
+		case KindMS, KindRX, KindRY, KindRZ, KindMeasure, KindBarrier:
+		default:
+			t.Errorf("non-native gate %v survived lowering", g)
+		}
+	}
+}
+
+func TestLowerToNativeMSCounts(t *testing.T) {
+	cases := []struct {
+		build  func(c *Circuit)
+		wantMS int
+	}{
+		{func(c *Circuit) { c.CX(0, 1) }, 1},
+		{func(c *Circuit) { c.CZ(0, 1) }, 1},
+		{func(c *Circuit) { c.CP(1.0, 0, 1) }, 1},
+		{func(c *Circuit) { c.RZZ(0.5, 0, 1) }, 1},
+		{func(c *Circuit) { c.MS(0, 1) }, 1},
+		{func(c *Circuit) { c.Swap(0, 1) }, 3}, // the T≥3 identity
+	}
+	for i, tc := range cases {
+		c := New("t", 2)
+		tc.build(c)
+		n := LowerToNative(c)
+		got := 0
+		for _, g := range n.Gates {
+			if g.Kind == KindMS {
+				got++
+			}
+		}
+		if got != tc.wantMS {
+			t.Errorf("case %d: MS count = %d, want %d", i, got, tc.wantMS)
+		}
+	}
+}
+
+func TestLowerPreservesQubitCountAndMeasures(t *testing.T) {
+	c := New("t", 5)
+	c.H(0)
+	c.CX(0, 4)
+	c.Measure(4)
+	n := LowerToNative(c)
+	if n.NumQubits != 5 {
+		t.Errorf("qubits = %d", n.NumQubits)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s := n.Stats(); s.Measures != 1 {
+		t.Errorf("measures = %d, want 1", s.Measures)
+	}
+}
+
+func TestOptimizeCancelsSelfInverses(t *testing.T) {
+	c := New("t", 2)
+	c.H(0)
+	c.H(0)
+	c.X(1)
+	c.X(1)
+	o := OptimizeOneQubit(c)
+	if len(o.Gates) != 0 {
+		t.Errorf("gates left: %v", o.Gates)
+	}
+}
+
+func TestOptimizeCancelsAdjoints(t *testing.T) {
+	c := New("t", 1)
+	c.T(0)
+	c.Tdg(0)
+	c.S(0)
+	c.Append(NewGate1(KindSdg, 0))
+	o := OptimizeOneQubit(c)
+	if len(o.Gates) != 0 {
+		t.Errorf("gates left: %v", o.Gates)
+	}
+}
+
+func TestOptimizeMergesRotations(t *testing.T) {
+	c := New("t", 1)
+	c.RZ(0.5, 0)
+	c.RZ(0.25, 0)
+	o := OptimizeOneQubit(c)
+	if len(o.Gates) != 1 {
+		t.Fatalf("gates = %v, want one merged RZ", o.Gates)
+	}
+	if math.Abs(o.Gates[0].Param-0.75) > 1e-12 {
+		t.Errorf("merged angle = %v, want 0.75", o.Gates[0].Param)
+	}
+}
+
+func TestOptimizeRotationCancellation(t *testing.T) {
+	c := New("t", 1)
+	c.RX(1.2, 0)
+	c.RX(-1.2, 0)
+	o := OptimizeOneQubit(c)
+	if len(o.Gates) != 0 {
+		t.Errorf("gates left: %v", o.Gates)
+	}
+}
+
+func TestOptimizeDropsZeroRotations(t *testing.T) {
+	c := New("t", 1)
+	c.RZ(0, 0)
+	c.RY(2*math.Pi, 0) // full period: identity up to global phase
+	o := OptimizeOneQubit(c)
+	if len(o.Gates) != 0 {
+		t.Errorf("gates left: %v", o.Gates)
+	}
+}
+
+func TestOptimizeRespectsTwoQubitBarriers(t *testing.T) {
+	c := New("t", 2)
+	c.H(0)
+	c.CX(0, 1) // blocks cancellation across it
+	c.H(0)
+	o := OptimizeOneQubit(c)
+	if len(o.Gates) != 3 {
+		t.Errorf("gates = %v, want all three preserved", o.Gates)
+	}
+}
+
+func TestOptimizeRespectsMeasurement(t *testing.T) {
+	c := New("t", 1)
+	c.H(0)
+	c.Measure(0)
+	c.H(0)
+	o := OptimizeOneQubit(c)
+	if len(o.Gates) != 3 {
+		t.Errorf("gates = %v, want all three preserved", o.Gates)
+	}
+}
+
+func TestOptimizeChainsToFixedPoint(t *testing.T) {
+	// T T T T T T T T = Z Z = identity; needs multiple merge rounds.
+	c := New("t", 1)
+	for i := 0; i < 4; i++ {
+		c.T(0)
+		c.Tdg(0)
+	}
+	o := OptimizeOneQubit(c)
+	if len(o.Gates) != 0 {
+		t.Errorf("gates left after fixed point: %v", o.Gates)
+	}
+}
+
+func TestOptimizePreservesTwoQubitOrder(t *testing.T) {
+	c := New("t", 3)
+	c.CX(0, 1)
+	c.H(0)
+	c.H(0)
+	c.CZ(1, 2)
+	o := OptimizeOneQubit(c)
+	idx := o.TwoQubitGates()
+	if len(idx) != 2 {
+		t.Fatalf("2q gates = %d, want 2", len(idx))
+	}
+	if o.Gates[idx[0]].Kind != KindCX || o.Gates[idx[1]].Kind != KindCZ {
+		t.Error("two-qubit order changed")
+	}
+}
+
+func TestNativeStats(t *testing.T) {
+	c := New("t", 2)
+	c.H(0)
+	c.CX(0, 1)
+	ms, rot := NativeStats(c)
+	if ms != 1 {
+		t.Errorf("ms = %d, want 1", ms)
+	}
+	if rot == 0 {
+		t.Error("no rotations after lowering CX+H")
+	}
+}
+
+func TestPropertyLoweringPreservesInteractionPairs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New("r", 6)
+		for i := 0; i < 30; i++ {
+			a, b := rng.Intn(6), rng.Intn(6)
+			if a == b {
+				c.H(a)
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0:
+				c.CX(a, b)
+			case 1:
+				c.CZ(a, b)
+			default:
+				c.CP(rng.Float64(), a, b)
+			}
+		}
+		orig := c.InteractionCount()
+		low := LowerToNative(c).InteractionCount()
+		// Every interacting pair must still interact (counts may differ
+		// because CZ lowers through CX, but the pair set is preserved).
+		for pair := range orig {
+			if low[pair] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOptimizeNeverChangesTwoQubitSequence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New("r", 5)
+		for i := 0; i < 40; i++ {
+			if rng.Intn(2) == 0 {
+				c.H(rng.Intn(5))
+			} else {
+				a, b := rng.Intn(5), rng.Intn(5)
+				if a != b {
+					c.MS(a, b)
+				}
+			}
+		}
+		before := twoQubitSeq(c)
+		after := twoQubitSeq(OptimizeOneQubit(c))
+		if len(before) != len(after) {
+			return false
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func twoQubitSeq(c *Circuit) [][2]int {
+	var seq [][2]int
+	for _, g := range c.Gates {
+		if g.Kind.IsTwoQubit() {
+			seq = append(seq, g.Qubits)
+		}
+	}
+	return seq
+}

@@ -1,0 +1,90 @@
+// Package core implements the MUSS-TI compiler (§3 of the paper): the
+// multi-level shuttle scheduler for EML-QCCD devices.
+//
+// The scheduling loop mirrors multi-level memory management. Qubits are
+// tasks; the storage zone is external storage (level 0), the operation zone
+// main memory (level 1), the optical zone the CPU (level 2). A two-qubit
+// gate needs its ions delivered to the right zone on time; misplaced
+// partners are routed in, and when a target zone is full the least recently
+// used resident is evicted one level down — the trap-world analogue of a
+// page fault.
+package core
+
+import (
+	"mussti/internal/physics"
+)
+
+// MappingStrategy selects the initial qubit placement (§3.4).
+type MappingStrategy int
+
+const (
+	// MappingTrivial places qubits sequentially into zones ordered from the
+	// highest level to the lowest.
+	MappingTrivial MappingStrategy = iota
+	// MappingSABRE runs the two-fold forward/reverse search of Li et
+	// al. [37] adapted to EML-QCCD, using the final mapping of a reverse
+	// pass as the real run's initial mapping.
+	MappingSABRE
+)
+
+// String names the strategy for reports.
+func (m MappingStrategy) String() string {
+	switch m {
+	case MappingTrivial:
+		return "trivial"
+	case MappingSABRE:
+		return "sabre"
+	}
+	return "unknown"
+}
+
+// Options configures a compilation.
+type Options struct {
+	// Mapping is the initial-placement strategy.
+	Mapping MappingStrategy
+	// SwapInsertion enables the inter-module SWAP-gate insertion of §3.3.
+	SwapInsertion bool
+	// LookAhead is the weight-table window k in DAG layers (paper: 8).
+	LookAhead int
+	// SwapThreshold is the weight threshold T for inserting a SWAP
+	// (paper: 4; must exceed the 3-MS cost of a SWAP).
+	SwapThreshold int
+	// Params is the physics model; zero-value means physics.Default().
+	Params physics.Params
+	// Trace enables op-level trace recording on the engine.
+	Trace bool
+	// Replacement selects the conflict-handling victim policy; the zero
+	// value is the paper's LRU scheduler. The alternatives (FIFO, random,
+	// clairvoyant Belady) exist for the replacement-policy ablation.
+	Replacement ReplacementPolicy
+	// DisableRoutingLookAhead turns off the look-ahead attraction term in
+	// zone selection (an implementation design choice on top of the
+	// paper's multi-level rule); the `routing` extension experiment
+	// measures its value.
+	DisableRoutingLookAhead bool
+}
+
+// DefaultOptions returns the paper's headline configuration:
+// SABRE mapping + SWAP insertion, k=8, T=4, Table-1 physics.
+func DefaultOptions() Options {
+	return Options{
+		Mapping:       MappingSABRE,
+		SwapInsertion: true,
+		LookAhead:     8,
+		SwapThreshold: 4,
+		Params:        physics.Default(),
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.LookAhead <= 0 {
+		o.LookAhead = 8
+	}
+	if o.SwapThreshold <= 0 {
+		o.SwapThreshold = 4
+	}
+	if o.Params == (physics.Params{}) {
+		o.Params = physics.Default()
+	}
+	return o
+}

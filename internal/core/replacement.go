@@ -1,0 +1,92 @@
+package core
+
+// ReplacementPolicy selects the conflict-handling victim policy. The paper
+// argues for LRU by analogy with page replacement ("near-optimal
+// performance by prioritizing eviction of qubits that have remained unused
+// for the longest duration", §3.2); the alternatives exist to back that
+// claim with an ablation — see the `lru` experiment and BenchmarkLRU.
+type ReplacementPolicy int
+
+// Replacement policies.
+const (
+	// ReplaceLRU evicts the least-recently-used qubit, breaking timestamp
+	// ties towards the farthest next use (the paper's policy).
+	ReplaceLRU ReplacementPolicy = iota
+	// ReplaceFIFO evicts the qubit that has resided in the zone longest,
+	// regardless of use.
+	ReplaceFIFO
+	// ReplaceRandom evicts a deterministic pseudo-random resident.
+	ReplaceRandom
+	// ReplaceBelady evicts the qubit whose next use lies farthest in the
+	// future — the clairvoyant optimum of page replacement, available here
+	// because the whole program is known ahead of time. It upper-bounds
+	// what any online policy can achieve.
+	ReplaceBelady
+)
+
+// String names the policy for reports.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case ReplaceLRU:
+		return "lru"
+	case ReplaceFIFO:
+		return "fifo"
+	case ReplaceRandom:
+		return "random"
+	case ReplaceBelady:
+		return "belady"
+	}
+	return "unknown"
+}
+
+// pickVictim selects the eviction victim in zone z under the configured
+// policy, never evicting the protected qubits. Returns -1 when no resident
+// is evictable.
+func (s *scheduler) pickVictim(z, keepA, keepB int) int {
+	switch s.opts.Replacement {
+	case ReplaceFIFO:
+		// Chains append at the tail, so the head-most unprotected ion is
+		// the oldest resident.
+		for _, q := range s.eng.Chain(z) {
+			if q != keepA && q != keepB {
+				return q
+			}
+		}
+		return -1
+	case ReplaceRandom:
+		chain := s.eng.Chain(z)
+		cands := make([]int, 0, len(chain))
+		for _, q := range chain {
+			if q != keepA && q != keepB {
+				cands = append(cands, q)
+			}
+		}
+		if len(cands) == 0 {
+			return -1
+		}
+		s.rngState = splitMix64(s.rngState)
+		return cands[int(s.rngState%uint64(len(cands)))]
+	case ReplaceBelady:
+		victim, farthest := -1, -1
+		for _, q := range s.eng.Chain(z) {
+			if q == keepA || q == keepB {
+				continue
+			}
+			if nu := s.nextUse(q); nu > farthest {
+				victim, farthest = q, nu
+			}
+		}
+		return victim
+	default: // ReplaceLRU
+		return s.pickLRUVictim(z, keepA, keepB)
+	}
+}
+
+// splitMix64 advances the deterministic eviction RNG (SplitMix64 step).
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mussti/internal/arch"
+	"mussti/internal/circuit"
+	"mussti/internal/dag"
+	"mussti/internal/sim"
+)
+
+// SchedStats counts the scheduler's decisions over one run — how often
+// each mechanism of §3.2 fired. They explain *why* a schedule cost what it
+// did and feed the ablation analyses.
+type SchedStats struct {
+	// ExecutableFast counts frontier gates executed with no routing
+	// (the "prioritize executable gates" fast path).
+	ExecutableFast int
+	// Routed counts gates that needed qubit routing.
+	Routed int
+	// Evictions counts conflict-handling evictions (page faults).
+	Evictions int
+	// SwapsConsidered and SwapsInserted count §3.3 decisions.
+	SwapsConsidered int
+	SwapsInserted   int
+}
+
+// Result is the outcome of one compilation run.
+type Result struct {
+	// Metrics are the executed schedule's simulation metrics.
+	Metrics sim.Metrics
+	// Stats counts the scheduler's decisions.
+	Stats SchedStats
+	// CompileTime is the wall-clock scheduling cost (the paper's Fig. 10
+	// metric), excluding circuit generation.
+	CompileTime time.Duration
+	// InitialMapping and FinalMapping give each qubit's zone before and
+	// after execution.
+	InitialMapping []int
+	FinalMapping   []int
+	// Trace is the op-level schedule when Options.Trace was set.
+	Trace []sim.Op
+	// Report is the per-zone activity report when Options.Trace was set.
+	Report *sim.Report
+}
+
+// Compile schedules circuit c onto device d with the given options and
+// returns the executed schedule's metrics. It errors when the device cannot
+// hold the circuit or an internal invariant breaks.
+func Compile(c *circuit.Circuit, d *arch.Device, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if c.NumQubits > d.Capacity() {
+		return nil, fmt.Errorf("core: circuit %q needs %d qubits, device holds %d",
+			c.Name, c.NumQubits, d.Capacity())
+	}
+	start := time.Now()
+
+	candidates, err := candidateMappings(c, d, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var best *Result
+	for _, initial := range candidates {
+		s, err := newScheduler(c, d, opts, initial)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Trace {
+			s.eng.EnableTrace()
+		}
+		if err := s.run(); err != nil {
+			return nil, err
+		}
+		res := &Result{
+			Metrics:        s.eng.Metrics(),
+			Stats:          s.stats,
+			InitialMapping: initial,
+			FinalMapping:   s.mappingSnapshot(),
+			Trace:          s.eng.Trace(),
+		}
+		if opts.Trace {
+			rep := s.eng.BuildReport()
+			res.Report = &rep
+		}
+		if best == nil || res.Metrics.Fidelity.Log() > best.Metrics.Fidelity.Log() {
+			best = res
+		}
+	}
+	best.CompileTime = time.Since(start)
+	return best, nil
+}
+
+// candidateMappings returns the initial mappings the compiler will try.
+// SABRE evaluates both the two-fold-search mapping and the trivial one and
+// Compile keeps whichever schedule reaches the higher fidelity: the search
+// is a heuristic, and falling back costs only compile time (which the
+// Fig. 11 trade-off accounts for).
+func candidateMappings(c *circuit.Circuit, d *arch.Device, opts Options) ([][]int, error) {
+	switch opts.Mapping {
+	case MappingTrivial:
+		m, err := trivialMapping(c.NumQubits, d)
+		if err != nil {
+			return nil, err
+		}
+		return [][]int{m}, nil
+	case MappingSABRE:
+		triv, err := trivialMapping(c.NumQubits, d)
+		if err != nil {
+			return nil, err
+		}
+		sab, err := sabreMapping(c, d, opts)
+		if err != nil {
+			return nil, err
+		}
+		return [][]int{sab, triv}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown mapping strategy %d", opts.Mapping)
+	}
+}
+
+// scheduler is the mutable state of one scheduling run.
+type scheduler struct {
+	c    *circuit.Circuit
+	d    *arch.Device
+	opts Options
+	eng  *sim.Engine
+	g    *dag.Graph
+
+	// perQubit[q] lists indices into c.Gates touching q, in order;
+	// cursor[q] is the next unexecuted one. Used to interleave one-qubit
+	// gates (executed in place) with the scheduled two-qubit gates.
+	perQubit [][]int
+	cursor   []int
+
+	// lastUsed[q] is the logical clock of q's last gate — the LRU key of
+	// the qubit-replacement scheduler (§3.2).
+	lastUsed []int64
+	clock    int64
+	// rngState drives the ReplaceRandom ablation policy deterministically.
+	rngState uint64
+
+	// stats tallies scheduling decisions for Result.Stats.
+	stats SchedStats
+
+	// nodeOf maps a circuit gate index to its DAG node ID.
+	nodeOf map[int]int
+}
+
+func newScheduler(c *circuit.Circuit, d *arch.Device, opts Options, initial []int) (*scheduler, error) {
+	s := &scheduler{
+		c:        c,
+		d:        d,
+		opts:     opts,
+		eng:      sim.NewDeviceEngine(d, c.NumQubits, opts.Params),
+		g:        dag.Build(c),
+		perQubit: make([][]int, c.NumQubits),
+		cursor:   make([]int, c.NumQubits),
+		lastUsed: make([]int64, c.NumQubits),
+		nodeOf:   make(map[int]int),
+	}
+	for gi, gate := range c.Gates {
+		for _, q := range gate.Operands() {
+			s.perQubit[q] = append(s.perQubit[q], gi)
+		}
+	}
+	for _, n := range s.g.Nodes {
+		s.nodeOf[n.GateIndex] = n.ID
+	}
+	for q, z := range initial {
+		if err := s.eng.Place(q, z); err != nil {
+			return nil, fmt.Errorf("core: initial mapping: %w", err)
+		}
+	}
+	return s, nil
+}
+
+func (s *scheduler) mappingSnapshot() []int {
+	m := make([]int, s.c.NumQubits)
+	for q := range m {
+		m[q] = s.eng.ZoneOf(q)
+	}
+	return m
+}
+
+// run executes the gate-scheduling loop of Fig. 3: gate selection, qubit
+// routing, conflict handling, gate execution, DAG update — until empty.
+func (s *scheduler) run() error {
+	// Leading one-qubit gates execute in place before any routing.
+	for q := 0; q < s.c.NumQubits; q++ {
+		if err := s.flushOneQubit(q); err != nil {
+			return err
+		}
+	}
+	for !s.g.Done() {
+		frontier := s.g.Frontier()
+		// Prioritise gates executable right away (§3.2 "Prioritize
+		// executable gates"): execute every such frontier gate first.
+		progressed := false
+		for _, id := range frontier {
+			if s.g.Executed(id) {
+				continue // executed earlier in this sweep via flush
+			}
+			a, b := s.operands(id)
+			if s.executableNow(a, b) {
+				if err := s.executeNode(id); err != nil {
+					return err
+				}
+				s.stats.ExecutableFast++
+				progressed = true
+			}
+		}
+		if progressed {
+			continue
+		}
+		// Otherwise first-come, first-served: route the oldest frontier
+		// gate's qubits to a suitable zone, then execute it.
+		id := frontier[0]
+		if err := s.route(id); err != nil {
+			return err
+		}
+		s.stats.Routed++
+		if err := s.executeNode(id); err != nil {
+			return err
+		}
+	}
+	// Trailing one-qubit gates (and measurements).
+	for q := 0; q < s.c.NumQubits; q++ {
+		if err := s.flushOneQubit(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *scheduler) operands(id int) (int, int) {
+	g := s.g.Nodes[id].Gate
+	return g.Qubits[0], g.Qubits[1]
+}
+
+// executableNow reports whether the pair may entangle without any routing:
+// co-located in one gate-capable zone, or sitting in optical zones of two
+// different modules (fiber gate).
+func (s *scheduler) executableNow(a, b int) bool {
+	za, zb := s.eng.ZoneOf(a), s.eng.ZoneOf(b)
+	if za == zb {
+		return s.d.Zone(za).Level.GateCapable()
+	}
+	ia, ib := s.d.Zone(za), s.d.Zone(zb)
+	return ia.Level == arch.LevelOptical && ib.Level == arch.LevelOptical && ia.Module != ib.Module
+}
+
+// executeNode runs DAG node id (gate assumed in an executable configuration),
+// advances the one-qubit cursors past it, flushes newly ready one-qubit
+// gates, updates LRU clocks, and triggers SWAP insertion after fiber gates.
+func (s *scheduler) executeNode(id int) error {
+	a, b := s.operands(id)
+	za, zb := s.eng.ZoneOf(a), s.eng.ZoneOf(b)
+	wasFiber := za != zb
+	var err error
+	if wasFiber {
+		err = s.eng.Fiber(a, b)
+	} else {
+		err = s.eng.Gate2(a, b)
+	}
+	if err != nil {
+		return fmt.Errorf("core: executing gate %v: %w", s.g.Nodes[id].Gate, err)
+	}
+	s.clock++
+	s.lastUsed[a] = s.clock
+	s.lastUsed[b] = s.clock
+
+	// Advance both cursors past this gate.
+	gi := s.g.Nodes[id].GateIndex
+	for _, q := range []int{a, b} {
+		if s.cursor[q] < len(s.perQubit[q]) && s.perQubit[q][s.cursor[q]] == gi {
+			s.cursor[q]++
+		} else {
+			return fmt.Errorf("core: cursor desync on qubit %d at gate %d", q, gi)
+		}
+	}
+	s.g.Execute(id)
+	for _, q := range []int{a, b} {
+		if err := s.flushOneQubit(q); err != nil {
+			return err
+		}
+	}
+	if wasFiber && s.opts.SwapInsertion {
+		if err := s.maybeInsertSwaps(a, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushOneQubit executes the run of one-qubit gates (and measurements) now
+// at the front of q's per-qubit gate list.
+func (s *scheduler) flushOneQubit(q int) error {
+	for s.cursor[q] < len(s.perQubit[q]) {
+		gi := s.perQubit[q][s.cursor[q]]
+		gate := s.c.Gates[gi]
+		if gate.Kind.IsTwoQubit() {
+			return nil
+		}
+		var err error
+		if gate.Kind == circuit.KindMeasure {
+			err = s.eng.Measure(q)
+		} else {
+			err = s.eng.Gate1(q)
+		}
+		if err != nil {
+			return fmt.Errorf("core: executing %v: %w", gate, err)
+		}
+		s.cursor[q]++
+	}
+	return nil
+}

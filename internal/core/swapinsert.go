@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+
+	"mussti/internal/arch"
+	"mussti/internal/dag"
+)
+
+// weightTable computes the §3.3 weight table W(q, c) for every qubit in qs
+// at once, scanning the look-ahead window a single time. Entry [qi][cj]
+// counts gates within the first k remaining DAG layers that pair q_i with a
+// qubit currently mapped to module c_j.
+func (s *scheduler) weightTable(qs []int) map[int][]int {
+	w := make(map[int][]int, len(qs))
+	for _, q := range qs {
+		w[q] = make([]int, len(s.d.Modules))
+	}
+	s.g.WalkAhead(s.opts.LookAhead, func(_ int, n *dag.Node) {
+		a, b := n.Gate.Qubits[0], n.Gate.Qubits[1]
+		if row, ok := w[a]; ok {
+			row[s.moduleOf(b)]++
+		}
+		if row, ok := w[b]; ok {
+			row[s.moduleOf(a)]++
+		}
+	})
+	return w
+}
+
+func (s *scheduler) moduleOf(q int) int {
+	return s.d.Zone(s.eng.ZoneOf(q)).Module
+}
+
+// maybeInsertSwaps applies the §3.3 rule after a fiber gate on (qa, qb):
+// for each operand qx on module cx, if qx has no remaining near-term work
+// on its own module (W(qx,cx)=0) but heavy work on some other module cj
+// (W(qx,cj) > T), and cj hosts a qubit qc that is itself done with cj
+// (W(qc,cj)=0), insert a logical SWAP(qx,qc) — three fiber MS gates — so
+// the upcoming gates run locally on cj instead of over the fiber or via
+// shuttles.
+func (s *scheduler) maybeInsertSwaps(qa, qb int) error {
+	for _, qx := range []int{qa, qb} {
+		if err := s.trySwapFor(qx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *scheduler) trySwapFor(qx int) error {
+	s.stats.SwapsConsidered++
+	cx := s.moduleOf(qx)
+	wx := s.weightTable([]int{qx})[qx]
+	if wx[cx] != 0 {
+		return nil // still needed here in the near future; stay put
+	}
+	// Pick the foreign module with the most upcoming work, above threshold.
+	bestModule, bestW := -1, s.opts.SwapThreshold
+	for cj, weight := range wx {
+		if cj == cx {
+			continue
+		}
+		if weight > bestW {
+			bestModule, bestW = cj, weight
+		}
+	}
+	if bestModule == -1 {
+		return nil
+	}
+	qc := s.pickSwapPartner(bestModule, qx)
+	if qc == -1 {
+		return nil
+	}
+	// qx just executed a fiber gate, so it sits in an optical zone; qc may
+	// need delivery to its module's optical zone first.
+	if s.d.Zone(s.eng.ZoneOf(qx)).Level != arch.LevelOptical {
+		// SWAP insertion only triggers right after a fiber gate; qx moving
+		// away would indicate a sequencing bug, so treat as not applicable.
+		return nil
+	}
+	if err := s.routeToOptical(qc, qx); err != nil {
+		return err
+	}
+	if err := s.eng.InsertedSwap(qx, qc); err != nil {
+		return err
+	}
+	s.stats.SwapsInserted++
+	s.clock++
+	s.lastUsed[qx] = s.clock
+	s.lastUsed[qc] = s.clock
+	return nil
+}
+
+// pickSwapPartner finds a qubit sitting in an optical zone of module cj
+// with W(qc, cj) == 0 — resident at the fiber interface but not needed on
+// that module — preferring the least recently used candidate. Restricting
+// candidates to the optical zone keeps the insertion conservative (the
+// paper's own example swaps an interface-resident qubit): the SWAP then
+// costs only its three fiber gates, with no staging shuttles whose heat
+// would degrade every later gate in the zone. Returns -1 when no resident
+// qualifies.
+func (s *scheduler) pickSwapPartner(cj, exclude int) int {
+	var residents []int
+	for _, z := range s.d.ZonesByLevel(cj, arch.LevelOptical) {
+		for _, q := range s.eng.Chain(z) {
+			if q != exclude {
+				residents = append(residents, q)
+			}
+		}
+	}
+	if len(residents) == 0 {
+		return -1
+	}
+	w := s.weightTable(residents)
+	best, bestUsed := -1, int64(math.MaxInt64)
+	for _, q := range residents {
+		if w[q][cj] != 0 {
+			continue
+		}
+		if s.lastUsed[q] < bestUsed {
+			best, bestUsed = q, s.lastUsed[q]
+		}
+	}
+	return best
+}

@@ -1,0 +1,248 @@
+// Package dag builds and consumes the gate dependency graph described in
+// §3.1 of the MUSS-TI paper.
+//
+// Each two-qubit gate of the circuit is a node; a directed edge (g_i, g_j)
+// means g_j may only execute after g_i. MUSS-TI disregards one-qubit gates
+// during scheduling (they execute in place), so the graph is built over
+// two-qubit gates only, with dependencies induced by operand overlap: two
+// gates conflict iff they share a qubit, and the earlier one in program
+// order is the predecessor. Because qubit timelines are linear, it is
+// sufficient to link each gate to the *next* gate on each of its operands —
+// the transitive closure recovers all ordering constraints, and the graph
+// stays O(g) in size, matching the paper's O(g) construction cost.
+package dag
+
+import (
+	"fmt"
+
+	"mussti/internal/circuit"
+)
+
+// Node is one two-qubit gate in the dependency graph.
+type Node struct {
+	// ID is the node's index within the graph (0..len(Nodes)-1), which is
+	// also its rank in program order over two-qubit gates.
+	ID int
+	// GateIndex is the index of the gate in the source circuit's Gates.
+	GateIndex int
+	// Gate is the two-qubit gate itself.
+	Gate circuit.Gate
+	// Succ and Pred are adjacent node IDs (at most 2 each: one per operand).
+	Succ []int
+	Pred []int
+}
+
+// Graph is the dependency DAG over the two-qubit gates of one circuit.
+type Graph struct {
+	Nodes []Node
+	// ByQubit lists, for each qubit, the node IDs touching it in order.
+	ByQubit [][]int
+
+	indegree []int // working copy consumed by Frontier bookkeeping
+	executed []bool
+	frontier map[int]struct{}
+	nLeft    int
+}
+
+// Build constructs the graph from a circuit. Only two-qubit gates become
+// nodes; all other gates are ignored.
+func Build(c *circuit.Circuit) *Graph {
+	g := &Graph{ByQubit: make([][]int, c.NumQubits)}
+	last := make([]int, c.NumQubits) // last node touching each qubit, -1 if none
+	for i := range last {
+		last[i] = -1
+	}
+	for gi, gate := range c.Gates {
+		if !gate.Kind.IsTwoQubit() {
+			continue
+		}
+		id := len(g.Nodes)
+		n := Node{ID: id, GateIndex: gi, Gate: gate}
+		g.Nodes = append(g.Nodes, n)
+		for _, q := range gate.Operands() {
+			if p := last[q]; p >= 0 {
+				// Avoid duplicate edge when both operands match.
+				if len(g.Nodes[id].Pred) == 0 || g.Nodes[id].Pred[len(g.Nodes[id].Pred)-1] != p {
+					g.Nodes[p].Succ = append(g.Nodes[p].Succ, id)
+					g.Nodes[id].Pred = append(g.Nodes[id].Pred, p)
+				}
+			}
+			last[q] = id
+			g.ByQubit[q] = append(g.ByQubit[q], id)
+		}
+	}
+	g.reset()
+	return g
+}
+
+func (g *Graph) reset() {
+	g.indegree = make([]int, len(g.Nodes))
+	g.executed = make([]bool, len(g.Nodes))
+	g.frontier = make(map[int]struct{})
+	g.nLeft = len(g.Nodes)
+	for _, n := range g.Nodes {
+		g.indegree[n.ID] = len(n.Pred)
+		if len(n.Pred) == 0 {
+			g.frontier[n.ID] = struct{}{}
+		}
+	}
+}
+
+// Reset restores the graph to its unexecuted state so it can be scheduled
+// again (used by the SABRE two-fold search, which executes the graph twice).
+func (g *Graph) Reset() { g.reset() }
+
+// Remaining reports how many nodes have not been executed yet.
+func (g *Graph) Remaining() int { return g.nLeft }
+
+// Done reports whether every node has been executed.
+func (g *Graph) Done() bool { return g.nLeft == 0 }
+
+// Frontier returns the IDs of currently executable nodes (zero unexecuted
+// predecessors), in ascending ID order — i.e. first-come first-served order,
+// which is the tie-break MUSS-TI's gate selection uses.
+func (g *Graph) Frontier() []int {
+	out := make([]int, 0, len(g.frontier))
+	for id := range g.frontier {
+		out = append(out, id)
+	}
+	// Insertion sort: frontiers are small (≤ number of qubits / 2).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Executed reports whether node id has been executed.
+func (g *Graph) Executed(id int) bool { return g.executed[id] }
+
+// Execute marks a frontier node as done and unlocks its successors.
+// It panics if the node is not currently executable — calling it otherwise
+// indicates a scheduler bug, which must not be silently absorbed.
+func (g *Graph) Execute(id int) {
+	if _, ok := g.frontier[id]; !ok {
+		panic(fmt.Sprintf("dag: node %d executed out of order (indegree %d, executed %v)",
+			id, g.indegree[id], g.executed[id]))
+	}
+	delete(g.frontier, id)
+	g.executed[id] = true
+	g.nLeft--
+	for _, s := range g.Nodes[id].Succ {
+		g.indegree[s]--
+		if g.indegree[s] == 0 {
+			g.frontier[s] = struct{}{}
+		}
+	}
+}
+
+// Layers returns the ASAP layering of the graph: layer 0 is the initial
+// frontier, layer i+1 the nodes whose longest path from a source has length
+// i+1. Used by tests and by the look-ahead weight table.
+func (g *Graph) Layers() [][]int {
+	depth := make([]int, len(g.Nodes))
+	var layers [][]int
+	for id := range g.Nodes {
+		d := 0
+		for _, p := range g.Nodes[id].Pred {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[id] = d
+		for len(layers) <= d {
+			layers = append(layers, nil)
+		}
+		layers[d] = append(layers[d], id)
+	}
+	return layers
+}
+
+// WalkAhead visits unexecuted nodes in the first k layers *of the remaining
+// graph* (layer = longest unexecuted-predecessor path), calling visit for
+// each with its remaining-layer index. This implements the "first k layers
+// of the DAG" window that the SWAP-insertion weight table scans (§3.3).
+//
+// The traversal is O(window) because node IDs ascend with program order: a
+// bounded forward scan from the frontier suffices.
+func (g *Graph) WalkAhead(k int, visit func(layer int, n *Node)) {
+	if k <= 0 || g.nLeft == 0 {
+		return
+	}
+	// Remaining-layer computation restricted to unexecuted nodes. depth[id]
+	// is only valid for visited ids; compute lazily in ID order (preds have
+	// smaller IDs, so a single ascending pass is a topological order).
+	depth := make(map[int]int, 64)
+	for id := range g.Nodes {
+		if g.executed[id] {
+			continue
+		}
+		d := 0
+		for _, p := range g.Nodes[id].Pred {
+			if g.executed[p] {
+				continue
+			}
+			if pd, ok := depth[p]; ok && pd+1 > d {
+				d = pd + 1
+			}
+		}
+		if d >= k {
+			// Successors can only be deeper; but later IDs may still be
+			// shallow, so keep scanning. Record depth for successors' sake.
+			depth[id] = d
+			continue
+		}
+		depth[id] = d
+		visit(d, &g.Nodes[id])
+	}
+}
+
+// CriticalPathLen returns the number of layers (two-qubit depth).
+func (g *Graph) CriticalPathLen() int { return len(g.Layers()) }
+
+// Validate checks structural invariants: edges are consistent, IDs ascend in
+// program order, and the edge relation matches operand overlap. Tests use it
+// as a property check against randomly generated circuits.
+func (g *Graph) Validate() error {
+	for _, n := range g.Nodes {
+		for _, s := range n.Succ {
+			if s <= n.ID || s >= len(g.Nodes) {
+				return fmt.Errorf("node %d: bad successor %d", n.ID, s)
+			}
+			if !contains(g.Nodes[s].Pred, n.ID) {
+				return fmt.Errorf("edge %d->%d missing reverse link", n.ID, s)
+			}
+			if !sharesOperand(n.Gate, g.Nodes[s].Gate) {
+				return fmt.Errorf("edge %d->%d without shared operand", n.ID, s)
+			}
+		}
+		for _, p := range n.Pred {
+			if p >= n.ID || p < 0 {
+				return fmt.Errorf("node %d: bad predecessor %d", n.ID, p)
+			}
+			if !contains(g.Nodes[p].Succ, n.ID) {
+				return fmt.Errorf("edge %d->%d missing forward link", p, n.ID)
+			}
+		}
+	}
+	return nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sharesOperand(a, b circuit.Gate) bool {
+	for _, q := range a.Operands() {
+		if b.Touches(q) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteMeasurementsCSV writes measurements as CSV with a header row, the
+// interchange format for plotting the figures outside Go.
+func WriteMeasurementsCSV(w io.Writer, ms []Measurement) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"app", "compiler", "qubits", "two_qubit_gates",
+		"shuttles", "chain_swaps", "inserted_swaps", "fiber_gates",
+		"time_us", "fidelity", "log10_fidelity", "compile_seconds",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		rec := []string{
+			m.App, m.Compiler,
+			strconv.Itoa(m.Qubits), strconv.Itoa(m.TwoQubit),
+			strconv.Itoa(m.Shuttles), strconv.Itoa(m.ChainSwaps),
+			strconv.Itoa(m.InsertedSwaps), strconv.Itoa(m.FiberGates),
+			strconv.FormatFloat(m.TimeUS, 'f', 0, 64),
+			strconv.FormatFloat(m.Fidelity, 'g', 6, 64),
+			strconv.FormatFloat(m.Log10F, 'f', 3, 64),
+			strconv.FormatFloat(m.CompileTime.Seconds(), 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CollectComparison runs one application through MUSS-TI (on its EML
+// device) and the given grid baselines, returning the measurements — the
+// unit of data behind Fig. 6, exported for users who want raw numbers.
+func CollectComparison(app string, rows, cols, capacity int, baselines []BaselineSpec) ([]Measurement, error) {
+	var out []Measurement
+	ours, err := RunMussti(MusstiSpec{App: app})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, ours)
+	for _, spec := range baselines {
+		spec.App = app
+		if spec.Rows == 0 {
+			spec.Rows, spec.Cols, spec.Capacity = rows, cols, capacity
+		}
+		m, err := RunBaseline(spec)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", app, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"mussti/internal/baseline"
+)
+
+func TestWriteMeasurementsCSV(t *testing.T) {
+	ms := []Measurement{
+		{App: "GHZ_n32", Compiler: "MUSS-TI", Qubits: 32, TwoQubit: 31,
+			Shuttles: 3, TimeUS: 2075, Fidelity: 0.815, Log10F: -0.0888,
+			CompileTime: 5 * time.Millisecond},
+		{App: "GHZ_n32", Compiler: "QCCD-Dai", Qubits: 32, TwoQubit: 31,
+			Shuttles: 6, TimeUS: 2535, Fidelity: 0.7525, Log10F: -0.1235},
+	}
+	var buf bytes.Buffer
+	if err := WriteMeasurementsCSV(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(records))
+	}
+	if records[0][0] != "app" || records[0][4] != "shuttles" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][1] != "MUSS-TI" || records[1][4] != "3" {
+		t.Errorf("row 1 = %v", records[1])
+	}
+	if records[2][1] != "QCCD-Dai" {
+		t.Errorf("row 2 = %v", records[2])
+	}
+}
+
+func TestCollectComparison(t *testing.T) {
+	ms, err := CollectComparison("GHZ_n32", 2, 2, 12, []BaselineSpec{
+		{Algorithm: baseline.Murali},
+		{Algorithm: baseline.Dai},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("measurements = %d, want 3", len(ms))
+	}
+	if ms[0].Compiler != "MUSS-TI" {
+		t.Errorf("first measurement = %q", ms[0].Compiler)
+	}
+	var buf bytes.Buffer
+	if err := WriteMeasurementsCSV(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "QCCD-Murali") {
+		t.Error("CSV missing baseline row")
+	}
+}

@@ -1,0 +1,394 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mussti/internal/arch"
+	"mussti/internal/baseline"
+	"mussti/internal/circuit/bench"
+	"mussti/internal/core"
+)
+
+// Experiment regenerates one table or figure of the paper and renders it as
+// text. Run may take seconds for the large-scale figures.
+type Experiment struct {
+	// ID is the paper's label: "table2", "fig6", ... "fig13".
+	ID string
+	// Description summarises what the paper shows there.
+	Description string
+	// Run executes the experiment and returns its rendered tables.
+	Run func() (string, error)
+}
+
+// Experiments lists every experiment in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table2", "Small-scale comparison on Grid 2x2 (cap 12) and 2x3 (cap 8): shuttles, time, fidelity", Table2},
+		{"fig6", "Architectural comparison small/medium/large: shuttles, time, fidelity",
+			func() (string, error) { return Fig6() }},
+		{"fig7", "Trap capacity sweep (12-20) vs fidelity, medium apps + SQRT_n299", Fig7},
+		{"fig8", "Ablation of compilation techniques (Trivial/SWAP/SABRE/SABRE+SWAP)", Fig8},
+		{"fig9", "Look-ahead window k sweep (4-12) vs fidelity", Fig9},
+		{"fig10", "Compilation-time scalability vs application size", Fig10},
+		{"fig11", "Compilation time vs fidelity trade-off per technique", Fig11},
+		{"fig12", "One vs two entanglement (optical) zones, large apps", Fig12},
+		{"fig13", "Optimality analysis: perfect gate / perfect shuttle / MUSS-TI", Fig13},
+	}
+}
+
+// AllExperiments returns the paper experiments followed by the extension
+// studies (replacement-policy ablation, optical-port sweep).
+func AllExperiments() []Experiment {
+	return append(Experiments(), extensions...)
+}
+
+// ByID returns the experiment (paper figure or extension) with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range AllExperiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range AllExperiments() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("eval: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+// table2Structures are the two Table-2 hardware configurations.
+var table2Structures = []struct {
+	Name       string
+	Rows, Cols int
+	Capacity   int
+}{
+	{"Grid 2x2", 2, 2, 12},
+	{"Grid 2x3", 2, 3, 8},
+}
+
+// Table2 regenerates Table 2: the small-scale suite on both structures for
+// all four compilers (Murali [55], Dai [13], MQT [70], MUSS-TI).
+func Table2() (string, error) {
+	var out strings.Builder
+	for _, st := range table2Structures {
+		tb := NewTable(
+			fmt.Sprintf("Table 2 — %s (trap capacity %d)", st.Name, st.Capacity),
+			"Application",
+			"Shut[55]", "Shut[13]", "Shut[70]", "ShutOurs",
+			"Time[55]", "Time[13]", "Time[70]", "TimeOurs",
+			"Fid[55]", "Fid[13]", "Fid[70]", "FidOurs",
+		)
+		for _, app := range bench.SmallSuite() {
+			row, err := table2Row(app, st.Rows, st.Cols, st.Capacity)
+			if err != nil {
+				return "", err
+			}
+			tb.Add(row...)
+		}
+		out.WriteString(tb.String())
+		out.WriteByte('\n')
+	}
+	return out.String(), nil
+}
+
+func table2Row(app string, rows, cols, capacity int) ([]any, error) {
+	var ms []Measurement
+	for _, algo := range []baseline.Algorithm{baseline.Murali, baseline.Dai, baseline.MQT} {
+		m, err := RunBaseline(BaselineSpec{App: app, Algorithm: algo, Rows: rows, Cols: cols, Capacity: capacity})
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+	}
+	ours, err := RunMussti(MusstiSpec{
+		App:  app,
+		Grid: arch.MustNewGrid(rows, cols, capacity),
+		Opts: core.DefaultOptions(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms = append(ms, ours)
+	row := []any{app}
+	for _, m := range ms {
+		row = append(row, m.Shuttles)
+	}
+	for _, m := range ms {
+		row = append(row, fmt.Sprintf("%.0f", m.TimeUS))
+	}
+	for _, m := range ms {
+		row = append(row, FormatLog10F(m.Log10F))
+	}
+	return row, nil
+}
+
+// fig6Scales are the three architectural-comparison scales of Fig. 6.
+var fig6Scales = []struct {
+	Name       string
+	Apps       []string
+	Rows, Cols int
+	Capacity   int
+	// OursOnGrid runs MUSS-TI on the standard grid (small scale); the
+	// medium/large scales run MUSS-TI on its EML-QCCD device, which is the
+	// "architectural comparison" of §5.2.
+	OursOnGrid bool
+}{
+	{"Small Scale, 2x2", bench.SmallSuite(), 2, 2, 12, true},
+	{"Middle Scale, 3x4", bench.MediumSuite(), 3, 4, 16, false},
+	{"Large Scale, 4x5", bench.LargeSuite(), 4, 5, 16, false},
+}
+
+// Fig6 regenerates the architectural comparison: for each scale, shuttle
+// count, execution time and fidelity for MUSS-TI vs the Dai and Murali grid
+// compilers.
+func Fig6(scaleFilter ...string) (string, error) {
+	var out strings.Builder
+	for _, sc := range fig6Scales {
+		if len(scaleFilter) > 0 && scaleFilter[0] != "" && !strings.Contains(strings.ToLower(sc.Name), strings.ToLower(scaleFilter[0])) {
+			continue
+		}
+		tb := NewTable(
+			fmt.Sprintf("Fig 6 — %s (grid cap %d)", sc.Name, sc.Capacity),
+			"Application",
+			"Shut(ours)", "Shut(Dai)", "Shut(Murali)",
+			"Time(ours)", "Time(Dai)", "Time(Murali)",
+			"Fid(ours)", "Fid(Dai)", "Fid(Murali)",
+		)
+		var reduction []float64
+		for _, app := range sc.Apps {
+			spec := MusstiSpec{App: app, Opts: core.DefaultOptions()}
+			if sc.OursOnGrid {
+				spec.Grid = arch.MustNewGrid(sc.Rows, sc.Cols, sc.Capacity)
+			}
+			ours, err := RunMussti(spec)
+			if err != nil {
+				return "", err
+			}
+			dai, err := RunBaseline(BaselineSpec{App: app, Algorithm: baseline.Dai, Rows: sc.Rows, Cols: sc.Cols, Capacity: sc.Capacity})
+			if err != nil {
+				return "", err
+			}
+			murali, err := RunBaseline(BaselineSpec{App: app, Algorithm: baseline.Murali, Rows: sc.Rows, Cols: sc.Cols, Capacity: sc.Capacity})
+			if err != nil {
+				return "", err
+			}
+			tb.Add(app,
+				ours.Shuttles, dai.Shuttles, murali.Shuttles,
+				fmt.Sprintf("%.0f", ours.TimeUS), fmt.Sprintf("%.0f", dai.TimeUS), fmt.Sprintf("%.0f", murali.TimeUS),
+				FormatLog10F(ours.Log10F), FormatLog10F(dai.Log10F), FormatLog10F(murali.Log10F),
+			)
+			best := dai.Shuttles
+			if murali.Shuttles < best {
+				best = murali.Shuttles
+			}
+			if best > 0 {
+				reduction = append(reduction, 100*(1-float64(ours.Shuttles)/float64(best)))
+			}
+		}
+		out.WriteString(tb.String())
+		fmt.Fprintf(&out, "average shuttle reduction vs best baseline: %.2f%%\n\n", mean(reduction))
+	}
+	return out.String(), nil
+}
+
+// Fig7 regenerates the trap-capacity analysis: MUSS-TI fidelity for
+// capacities 12..20 on the medium apps and SQRT_n299.
+func Fig7() (string, error) {
+	apps := []string{"Adder_n128", "BV_n128", "GHZ_n128", "QAOA_n128", "SQRT_n299"}
+	caps := []int{12, 14, 16, 18, 20}
+	tb := NewTable("Fig 7 — EML-QCCD trap capacity vs fidelity (MUSS-TI)",
+		append([]string{"Application"}, intsToHeaders("cap=", caps)...)...)
+	for _, app := range apps {
+		row := []any{app}
+		c := bench.MustByName(app)
+		for _, capacity := range caps {
+			cfg := arch.DefaultConfig(c.NumQubits)
+			cfg.TrapCapacity = capacity
+			m, err := RunMussti(MusstiSpec{App: app, Config: cfg, Opts: core.DefaultOptions()})
+			if err != nil {
+				return "", err
+			}
+			row = append(row, FormatLog10F(m.Log10F))
+		}
+		tb.Add(row...)
+	}
+	return tb.String(), nil
+}
+
+// ablationConfigs are the four Fig. 8 / Fig. 11 technique combinations.
+var ablationConfigs = []struct {
+	Name string
+	Opts core.Options
+}{
+	{"Trivial", core.Options{Mapping: core.MappingTrivial}},
+	{"SWAP Insert", core.Options{Mapping: core.MappingTrivial, SwapInsertion: true}},
+	{"SABRE", core.Options{Mapping: core.MappingSABRE}},
+	{"SABRE+SWAP", core.Options{Mapping: core.MappingSABRE, SwapInsertion: true}},
+}
+
+// Fig8 regenerates the compilation-technique ablation over the medium and
+// large suites.
+func Fig8() (string, error) {
+	apps := append(append([]string{}, bench.MediumSuite()...), bench.LargeSuite()...)
+	header := []string{"Application"}
+	for _, cfg := range ablationConfigs {
+		header = append(header, cfg.Name)
+	}
+	tb := NewTable("Fig 8 — ablation of compilation techniques (fidelity)", header...)
+	for _, app := range apps {
+		row := []any{app}
+		for _, cfg := range ablationConfigs {
+			m, err := RunMussti(MusstiSpec{App: app, Opts: cfg.Opts})
+			if err != nil {
+				return "", err
+			}
+			row = append(row, FormatLog10F(m.Log10F))
+		}
+		tb.Add(row...)
+	}
+	return tb.String(), nil
+}
+
+// Fig9 regenerates the look-ahead analysis: fidelity for k in {4..12} on
+// the five applications of the paper's Fig. 9.
+func Fig9() (string, error) {
+	apps := []string{"QAOA_n256", "Adder_n256", "RAN_n256", "SQRT_n117", "SQRT_n299"}
+	ks := []int{4, 6, 8, 10, 12}
+	tb := NewTable("Fig 9 — look-ahead window k vs fidelity (MUSS-TI)",
+		append([]string{"Application"}, intsToHeaders("k=", ks)...)...)
+	for _, app := range apps {
+		row := []any{app}
+		for _, k := range ks {
+			opts := core.DefaultOptions()
+			opts.LookAhead = k
+			m, err := RunMussti(MusstiSpec{App: app, Opts: opts})
+			if err != nil {
+				return "", err
+			}
+			row = append(row, FormatLog10F(m.Log10F))
+		}
+		tb.Add(row...)
+	}
+	return tb.String(), nil
+}
+
+// Fig10 regenerates the compilation-time scalability curve: wall-clock
+// MUSS-TI compile time for Adder/BV/GHZ/QAOA from ~128 to ~300 qubits.
+func Fig10() (string, error) {
+	families := []string{"Adder", "BV", "GHZ", "QAOA"}
+	sizes := []int{128, 160, 192, 224, 256, 288, 300}
+	tb := NewTable("Fig 10 — compilation time (s) vs application size",
+		append([]string{"Family"}, intsToHeaders("n=", sizes)...)...)
+	for _, fam := range families {
+		row := []any{fam}
+		for _, n := range sizes {
+			app := fmt.Sprintf("%s_n%d", fam, n)
+			m, err := RunMussti(MusstiSpec{App: app, Opts: core.DefaultOptions()})
+			if err != nil {
+				return "", err
+			}
+			row = append(row, fmt.Sprintf("%.3f", m.CompileTime.Seconds()))
+		}
+		tb.Add(row...)
+	}
+	return tb.String(), nil
+}
+
+// Fig11 regenerates the compile-time/fidelity trade-off scatter for the
+// complex (SQRT_n128) and simple (BV_n128) applications.
+func Fig11() (string, error) {
+	apps := []string{"SQRT_n128", "BV_n128"}
+	var out strings.Builder
+	for _, app := range apps {
+		tb := NewTable(fmt.Sprintf("Fig 11 — %s: compilation time vs fidelity", app),
+			"Technique", "CompileTime(s)", "Fidelity")
+		for _, cfg := range ablationConfigs {
+			m, err := RunMussti(MusstiSpec{App: app, Opts: cfg.Opts})
+			if err != nil {
+				return "", err
+			}
+			tb.Add(cfg.Name, fmt.Sprintf("%.3f", m.CompileTime.Seconds()), FormatLog10F(m.Log10F))
+		}
+		out.WriteString(tb.String())
+		out.WriteByte('\n')
+	}
+	return out.String(), nil
+}
+
+// Fig12 regenerates the multiple-entanglement-zone analysis: large apps
+// with one vs two optical zones per module.
+func Fig12() (string, error) {
+	tb := NewTable("Fig 12 — one vs two entanglement zones (fidelity, MUSS-TI)",
+		"Application", "SingleZone", "TwoZones")
+	for _, app := range bench.LargeSuite() {
+		c := bench.MustByName(app)
+		row := []any{app}
+		for _, zones := range []int{1, 2} {
+			cfg := arch.DefaultConfig(c.NumQubits)
+			cfg.OpticalZones = zones
+			m, err := RunMussti(MusstiSpec{App: app, Config: cfg, Opts: core.DefaultOptions()})
+			if err != nil {
+				return "", err
+			}
+			row = append(row, FormatLog10F(m.Log10F))
+		}
+		tb.Add(row...)
+	}
+	return tb.String(), nil
+}
+
+// Fig13 regenerates the optimality analysis: MUSS-TI under Table-1 physics
+// vs the perfect-gate and perfect-shuttle idealisations.
+func Fig13() (string, error) {
+	apps := []string{
+		"Adder_n128", "BV_n128", "GHZ_n128", "QAOA_n128", "SQRT_n117",
+		"Adder_n298", "BV_n298", "GHZ_n298", "QAOA_n298", "SQRT_n299",
+	}
+	tb := NewTable("Fig 13 — optimality analysis (fidelity)",
+		"Application", "PerfectGate", "PerfectShuttle", "MUSS-TI")
+	for _, app := range apps {
+		row := []any{app}
+		for _, mode := range []struct{ gates, shuttle bool }{{true, false}, {false, true}, {false, false}} {
+			opts := core.DefaultOptions()
+			opts.Params = idealParams(mode.gates, mode.shuttle)
+			m, err := RunMussti(MusstiSpec{App: app, Opts: opts})
+			if err != nil {
+				return "", err
+			}
+			row = append(row, FormatLog10F(m.Log10F))
+		}
+		tb.Add(row...)
+	}
+	return tb.String(), nil
+}
+
+func intsToHeaders(prefix string, xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%s%d", prefix, x)
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// SortedIDs returns all experiment IDs in paper order (for CLI help).
+func SortedIDs() []string {
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

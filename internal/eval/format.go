@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple text table builder used by all experiment formatters.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable starts a table with a title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// Add appends a row; values are stringified with %v unless already strings.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// FormatFloat renders a float the way the paper's tables do: plain decimal
+// for readable magnitudes, scientific for tiny fidelities, and "0" for
+// values that underflowed.
+func FormatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.IsInf(v, 0) || math.IsNaN(v):
+		return fmt.Sprintf("%v", v)
+	case math.Abs(v) >= 0.01 && math.Abs(v) < 1e6:
+		return trimZeros(fmt.Sprintf("%.4f", v))
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.1e", v)
+	}
+}
+
+func trimZeros(s string) string {
+	if !strings.Contains(s, ".") {
+		return s
+	}
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// FormatLog10F renders a log10 fidelity series value the way the paper's
+// tables do: decimal for readable magnitudes, scientific below that, and a
+// synthesised "1e-xxx" once the linear value would underflow float64.
+func FormatLog10F(log10F float64) string {
+	switch {
+	case log10F > -2:
+		return trimZeros(fmt.Sprintf("%.4f", math.Pow(10, log10F)))
+	case log10F > -300:
+		return fmt.Sprintf("%.1e", math.Pow(10, log10F))
+	default:
+		return fmt.Sprintf("1e%.0f", math.Floor(log10F))
+	}
+}

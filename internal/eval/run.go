@@ -1,0 +1,149 @@
+// Package eval is the experiment harness: it runs application × device ×
+// compiler combinations and regenerates every table and figure of the
+// MUSS-TI evaluation (§5) as text rows. Each experiment has a function
+// returning structured results plus a formatter, so both the CLI
+// (cmd/experiments) and the benchmark suite (bench_test.go) share one
+// implementation.
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"mussti/internal/arch"
+	"mussti/internal/baseline"
+	"mussti/internal/circuit/bench"
+	"mussti/internal/core"
+	"mussti/internal/physics"
+)
+
+// Measurement is one (application, compiler, device) data point.
+type Measurement struct {
+	App      string
+	Compiler string
+	Qubits   int
+	TwoQubit int
+
+	Shuttles      int
+	ChainSwaps    int
+	InsertedSwaps int
+	FiberGates    int
+	TimeUS        float64
+	Fidelity      float64 // linear; underflows to 0 exactly like the paper
+	Log10F        float64
+	CompileTime   time.Duration
+}
+
+// MusstiSpec describes a MUSS-TI run: either on an EML-QCCD device built
+// from Config (the default), or directly on a standard QCCD grid when Grid
+// is set (Table 2 / Fig. 6 small scale apply MUSS-TI "on these standard
+// QCCD structures").
+type MusstiSpec struct {
+	App    string
+	Config arch.Config
+	Grid   *arch.Grid
+	Opts   core.Options
+}
+
+// RunMussti compiles one application with MUSS-TI and packages the metrics.
+func RunMussti(spec MusstiSpec) (Measurement, error) {
+	c, err := bench.ByName(spec.App)
+	if err != nil {
+		return Measurement{}, err
+	}
+	var d *arch.Device
+	if spec.Grid != nil {
+		d = spec.Grid.Device()
+	} else {
+		if spec.Config.Modules == 0 {
+			spec.Config = arch.DefaultConfig(c.NumQubits)
+		}
+		d, err = arch.New(spec.Config)
+		if err != nil {
+			return Measurement{}, err
+		}
+	}
+	res, err := core.Compile(c, d, spec.Opts)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("eval: %s: %w", spec.App, err)
+	}
+	st := c.Stats()
+	m := res.Metrics
+	return Measurement{
+		App:           spec.App,
+		Compiler:      "MUSS-TI",
+		Qubits:        c.NumQubits,
+		TwoQubit:      st.TwoQubit,
+		Shuttles:      m.Shuttles,
+		ChainSwaps:    m.ChainSwaps,
+		InsertedSwaps: m.InsertedSwaps,
+		FiberGates:    m.FiberGates,
+		TimeUS:        m.MakespanUS,
+		Fidelity:      m.Fidelity.Value(),
+		Log10F:        m.Fidelity.Log10(),
+		CompileTime:   res.CompileTime,
+	}, nil
+}
+
+// BaselineSpec describes a baseline run on the monolithic grid.
+type BaselineSpec struct {
+	App       string
+	Algorithm baseline.Algorithm
+	Rows      int
+	Cols      int
+	Capacity  int
+	Opts      baseline.Options
+}
+
+// RunBaseline compiles one application with a grid baseline.
+func RunBaseline(spec BaselineSpec) (Measurement, error) {
+	c, err := bench.ByName(spec.App)
+	if err != nil {
+		return Measurement{}, err
+	}
+	g, err := arch.NewGrid(spec.Rows, spec.Cols, spec.Capacity)
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, err := baseline.Compile(spec.Algorithm, c, g, spec.Opts)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("eval: %s/%s: %w", spec.App, spec.Algorithm, err)
+	}
+	st := c.Stats()
+	m := res.Metrics
+	return Measurement{
+		App:         spec.App,
+		Compiler:    spec.Algorithm.String(),
+		Qubits:      c.NumQubits,
+		TwoQubit:    st.TwoQubit,
+		Shuttles:    m.Shuttles,
+		ChainSwaps:  m.ChainSwaps,
+		FiberGates:  m.FiberGates,
+		TimeUS:      m.MakespanUS,
+		Fidelity:    m.Fidelity.Value(),
+		Log10F:      m.Fidelity.Log10(),
+		CompileTime: res.CompileTime,
+	}, nil
+}
+
+// emlConfig builds the EML-QCCD configuration MUSS-TI uses when the paper
+// pins a module count and trap capacity (Table 2, Fig. 6): `modules`
+// modules of the standard 2-storage/1-operation/1-optical layout.
+func emlConfig(modules, capacity int) arch.Config {
+	cfg := arch.DefaultConfig(0)
+	cfg.Modules = modules
+	cfg.TrapCapacity = capacity
+	if cfg.OpticalCapacity > capacity {
+		cfg.OpticalCapacity = capacity
+	}
+	return cfg
+}
+
+// idealParams returns Table-1 physics with the Fig. 13 idealisation
+// switches applied.
+func idealParams(perfectGates, perfectShuttle bool) physics.Params {
+	p := physics.Default()
+	p.PerfectGates = perfectGates
+	p.PerfectShuttle = perfectShuttle
+	return p
+}

@@ -1,0 +1,163 @@
+// Package physics implements the time and fidelity model of the MUSS-TI
+// paper (§4 "Fidelity Model", Table 1).
+//
+// Shuttle primitives (Split, Move, Swap, Merge) have fixed durations and
+// deposit motional heat n̄; their fidelity is F = exp(−t/T1 − k·n̄) with
+// T1 = 600e6 µs and k = 0.001 (Eq. 1). Gates have intrinsic fidelities —
+// one-qubit 0.9999, two-qubit 1 − εN² with ε = 1/25600 and N the current
+// chain length of the hosting trap, fiber entanglement 0.99 — degraded by
+// the hosting zone's background fidelity B_i = exp(−k·heat_i), where heat_i
+// accumulates the n̄ of every shuttle primitive that touched zone i. This
+// realises the paper's statement that shuttle-induced heating "accumulates
+// linearly with the number of shuttles" and lowers the fidelity of
+// *subsequent* gates in that zone.
+//
+// Fidelity products underflow float64 for the large benchmarks (the paper
+// reports values down to 1e-280 and rounds past ~2.2e-308 to zero), so all
+// accumulation happens in natural-log space; callers convert to linear or
+// log10 for reporting.
+package physics
+
+import "math"
+
+// Params carries every tunable of the model. The zero value is not useful;
+// start from Default().
+type Params struct {
+	// Durations in microseconds (Table 1).
+	SplitTimeUS   float64
+	MergeTimeUS   float64
+	SwapTimeUS    float64 // chain reorder swap (physical ion swap in trap)
+	MoveSpeedUMUS float64 // µm per µs
+	Gate1TimeUS   float64
+	Gate2TimeUS   float64
+	FiberTimeUS   float64
+
+	// Heat deposited per primitive, in mean phonon number n̄ (Table 1).
+	SplitHeat float64
+	MoveHeat  float64
+	SwapHeat  float64
+	MergeHeat float64
+
+	// Fidelity constants (§4).
+	T1US          float64 // qubit lifetime, 600e6 µs
+	HeatingRate   float64 // k = 0.001
+	Gate1Fidelity float64 // 0.9999
+	Epsilon       float64 // ε = 1/25600, two-qubit decay coefficient
+	FiberFidelity float64 // 0.99
+
+	// Idealised-model switches for the optimality analysis (§5.9).
+	PerfectShuttle bool // shuttles deposit no heat and cost no fidelity
+	PerfectGates   bool // two-qubit gates at fixed 0.9999 fidelity
+}
+
+// Default returns the paper's Table-1 parameters.
+func Default() Params {
+	return Params{
+		SplitTimeUS:   80,
+		MergeTimeUS:   80,
+		SwapTimeUS:    40,
+		MoveSpeedUMUS: 2,
+		Gate1TimeUS:   5,
+		Gate2TimeUS:   40,
+		FiberTimeUS:   200,
+
+		SplitHeat: 1,
+		MoveHeat:  0.1,
+		SwapHeat:  0.3,
+		MergeHeat: 1,
+
+		T1US:          600e6,
+		HeatingRate:   0.001,
+		Gate1Fidelity: 0.9999,
+		Epsilon:       1.0 / 25600.0,
+		FiberFidelity: 0.99,
+	}
+}
+
+// MoveTimeUS returns the Move duration for a given distance in µm.
+func (p Params) MoveTimeUS(distanceUM float64) float64 {
+	if p.MoveSpeedUMUS <= 0 {
+		return 0
+	}
+	return distanceUM / p.MoveSpeedUMUS
+}
+
+// ShuttleLogF returns ln F for one shuttle primitive of duration t carrying
+// heat n̄, per Eq. 1: F = exp(−t/T1 − k·n̄).
+func (p Params) ShuttleLogF(tUS, heat float64) float64 {
+	if p.PerfectShuttle {
+		return 0
+	}
+	return -tUS/p.T1US - p.HeatingRate*heat
+}
+
+// Gate1LogF returns ln F for a one-qubit gate in a zone with background
+// log-fidelity bgLogF.
+func (p Params) Gate1LogF(bgLogF float64) float64 {
+	return math.Log(p.Gate1Fidelity) + bgLogF
+}
+
+// Gate2Fidelity returns the intrinsic two-qubit MS-gate fidelity for a trap
+// currently holding n ions: 1 − εN² (§4), clamped to (0, 1].
+func (p Params) Gate2Fidelity(n int) float64 {
+	if p.PerfectGates {
+		return 0.9999
+	}
+	f := 1 - p.Epsilon*float64(n)*float64(n)
+	if f <= 0 {
+		// A chain so long the model predicts total loss; keep a floor so
+		// log-fidelity stays finite and comparable.
+		return 1e-6
+	}
+	return f
+}
+
+// Gate2LogF returns ln F for a two-qubit gate in a trap with n ions and
+// background log-fidelity bgLogF.
+func (p Params) Gate2LogF(n int, bgLogF float64) float64 {
+	return math.Log(p.Gate2Fidelity(n)) + bgLogF
+}
+
+// FiberLogF returns ln F for one fiber-entanglement operation between two
+// optical zones with background log-fidelities bgA and bgB.
+func (p Params) FiberLogF(bgA, bgB float64) float64 {
+	f := p.FiberFidelity
+	if p.PerfectGates {
+		f = 0.9999
+	}
+	return math.Log(f) + bgA + bgB
+}
+
+// BackgroundLogF converts accumulated zone heat into the zone's background
+// log-fidelity: ln B_i = −k·heat_i.
+func (p Params) BackgroundLogF(heat float64) float64 {
+	if p.PerfectShuttle {
+		return 0
+	}
+	return -p.HeatingRate * heat
+}
+
+// Fidelity is a log-space fidelity accumulator.
+type Fidelity struct {
+	logF float64 // natural log of the running product
+	ops  int
+}
+
+// MulLog multiplies the running product by exp(lnF).
+func (f *Fidelity) MulLog(lnF float64) {
+	f.logF += lnF
+	f.ops++
+}
+
+// Log returns the natural log of the product.
+func (f Fidelity) Log() float64 { return f.logF }
+
+// Log10 returns log10 of the product — the scale the paper's figures use.
+func (f Fidelity) Log10() float64 { return f.logF / math.Ln10 }
+
+// Value returns the product as a float64; it underflows to 0 below
+// ~2.2e-308, exactly as the paper describes for Python.
+func (f Fidelity) Value() float64 { return math.Exp(f.logF) }
+
+// Ops returns how many factors have been accumulated.
+func (f Fidelity) Ops() int { return f.ops }

@@ -1,0 +1,179 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	p := Default()
+	cases := []struct {
+		name      string
+		got, want float64
+	}{
+		{"split", p.SplitTimeUS, 80},
+		{"merge", p.MergeTimeUS, 80},
+		{"swap", p.SwapTimeUS, 40},
+		{"move speed", p.MoveSpeedUMUS, 2},
+		{"1q time", p.Gate1TimeUS, 5},
+		{"2q time", p.Gate2TimeUS, 40},
+		{"fiber time", p.FiberTimeUS, 200},
+		{"split heat", p.SplitHeat, 1},
+		{"move heat", p.MoveHeat, 0.1},
+		{"swap heat", p.SwapHeat, 0.3},
+		{"merge heat", p.MergeHeat, 1},
+		{"T1", p.T1US, 600e6},
+		{"k", p.HeatingRate, 0.001},
+		{"1q fidelity", p.Gate1Fidelity, 0.9999},
+		{"epsilon", p.Epsilon, 1.0 / 25600.0},
+		{"fiber fidelity", p.FiberFidelity, 0.99},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestMoveTime(t *testing.T) {
+	p := Default()
+	if got := p.MoveTimeUS(100); got != 50 {
+		t.Errorf("MoveTimeUS(100) = %v, want 50 (2 um/us)", got)
+	}
+	if got := p.MoveTimeUS(0); got != 0 {
+		t.Errorf("MoveTimeUS(0) = %v, want 0", got)
+	}
+}
+
+func TestShuttleLogFEquation1(t *testing.T) {
+	p := Default()
+	// F = exp(-t/T1 - k*n̄)
+	got := p.ShuttleLogF(80, 1)
+	want := -80/600e6 - 0.001*1
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("ShuttleLogF(80,1) = %v, want %v", got, want)
+	}
+	if got >= 0 {
+		t.Error("shuttle log-fidelity must be negative")
+	}
+}
+
+func TestGate2FidelityQuadraticDecay(t *testing.T) {
+	p := Default()
+	// 1 - eps*N^2 with eps = 1/25600: N=16 -> 0.99.
+	if got := p.Gate2Fidelity(16); math.Abs(got-0.99) > 1e-12 {
+		t.Errorf("Gate2Fidelity(16) = %v, want 0.99", got)
+	}
+	if p.Gate2Fidelity(4) <= p.Gate2Fidelity(20) {
+		t.Error("fidelity must decrease with chain length")
+	}
+	// Degenerate chains clamp to a positive floor instead of going <= 0.
+	if got := p.Gate2Fidelity(1000); got <= 0 {
+		t.Errorf("Gate2Fidelity(1000) = %v, want positive floor", got)
+	}
+}
+
+func TestBackgroundLogF(t *testing.T) {
+	p := Default()
+	if got := p.BackgroundLogF(0); got != 0 {
+		t.Errorf("no heat should give background 1 (log 0), got %v", got)
+	}
+	if p.BackgroundLogF(10) >= p.BackgroundLogF(5) {
+		t.Error("hotter zone must have lower background fidelity")
+	}
+}
+
+func TestPerfectShuttleSwitch(t *testing.T) {
+	p := Default()
+	p.PerfectShuttle = true
+	if p.ShuttleLogF(80, 1) != 0 {
+		t.Error("perfect shuttle must cost nothing")
+	}
+	if p.BackgroundLogF(100) != 0 {
+		t.Error("perfect shuttle must suppress heat background")
+	}
+}
+
+func TestPerfectGatesSwitch(t *testing.T) {
+	p := Default()
+	p.PerfectGates = true
+	if got := p.Gate2Fidelity(30); got != 0.9999 {
+		t.Errorf("perfect gate fidelity = %v, want 0.9999", got)
+	}
+	want := math.Log(0.9999)
+	if got := p.FiberLogF(0, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("perfect fiber logF = %v, want %v", got, want)
+	}
+}
+
+func TestFiberLogFIncludesBothBackgrounds(t *testing.T) {
+	p := Default()
+	clean := p.FiberLogF(0, 0)
+	if math.Abs(clean-math.Log(0.99)) > 1e-12 {
+		t.Errorf("clean fiber logF = %v, want ln 0.99", clean)
+	}
+	dirty := p.FiberLogF(-0.01, -0.02)
+	if math.Abs(dirty-(clean-0.03)) > 1e-12 {
+		t.Errorf("dirty fiber logF = %v, want clean-0.03", dirty)
+	}
+}
+
+func TestFidelityAccumulator(t *testing.T) {
+	var f Fidelity
+	if f.Value() != 1 || f.Log() != 0 || f.Ops() != 0 {
+		t.Error("zero accumulator should be the identity")
+	}
+	f.MulLog(math.Log(0.5))
+	f.MulLog(math.Log(0.5))
+	if math.Abs(f.Value()-0.25) > 1e-12 {
+		t.Errorf("value = %v, want 0.25", f.Value())
+	}
+	if math.Abs(f.Log10()-math.Log10(0.25)) > 1e-12 {
+		t.Errorf("log10 = %v, want %v", f.Log10(), math.Log10(0.25))
+	}
+	if f.Ops() != 2 {
+		t.Errorf("ops = %d, want 2", f.Ops())
+	}
+}
+
+func TestFidelityUnderflowBehavesLikePaper(t *testing.T) {
+	// The paper reports fidelities rounding to zero below ~2.2e-308 in
+	// Python; the linear view underflows identically while the log view
+	// stays usable.
+	var f Fidelity
+	for i := 0; i < 100000; i++ {
+		f.MulLog(math.Log(0.99))
+	}
+	if f.Value() != 0 {
+		t.Errorf("linear value = %v, want underflow to 0", f.Value())
+	}
+	if math.IsInf(f.Log10(), 0) || f.Log10() > -300 {
+		t.Errorf("log10 = %v, want finite and < -300", f.Log10())
+	}
+}
+
+func TestPropertyLogFMonotonicInHeat(t *testing.T) {
+	p := Default()
+	f := func(a, b uint16) bool {
+		h1, h2 := float64(a), float64(b)
+		if h1 > h2 {
+			h1, h2 = h2, h1
+		}
+		return p.BackgroundLogF(h1) >= p.BackgroundLogF(h2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGate2LogFDecreasesWithChain(t *testing.T) {
+	p := Default()
+	f := func(n uint8) bool {
+		c := int(n%100) + 2
+		return p.Gate2LogF(c, 0) >= p.Gate2LogF(c+1, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

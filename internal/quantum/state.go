@@ -1,0 +1,255 @@
+// Package quantum is a small dense statevector simulator over the circuit
+// IR. It exists for two reasons: it completes the quantum-computation
+// substrate the paper's background section rests on (§2.1 — states,
+// amplitudes, MS gates), and it powers the end-to-end *semantic*
+// verification of compiled schedules: executing a schedule's gate order
+// must produce exactly the same state as the program order, because the
+// scheduler may only commute gates with disjoint supports.
+//
+// The simulator is exact (complex128) and dense, so it is intended for
+// verification-sized circuits (≲ 20 qubits), not for the 300-qubit
+// benchmarks — those are evaluated by the scheduling metrics, not by state
+// evolution.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"mussti/internal/circuit"
+)
+
+// State is a dense statevector over n qubits. Qubit 0 is the lowest-order
+// bit of the basis index.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState returns |0…0⟩ over n qubits. n must be in [1, 24] — beyond that
+// the dense representation is deliberately refused rather than thrashing.
+func NewState(n int) (*State, error) {
+	if n < 1 || n > 24 {
+		return nil, fmt.Errorf("quantum: statevector for %d qubits refused (supported: 1..24)", n)
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<n)}
+	s.amp[0] = 1
+	return s, nil
+}
+
+// MustNewState is NewState for known-good sizes.
+func MustNewState(n int) *State {
+	s, err := NewState(n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumQubits returns the register width.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns ⟨basis|ψ⟩ for a computational basis index.
+func (s *State) Amplitude(basis int) complex128 { return s.amp[basis] }
+
+// Probability returns |⟨basis|ψ⟩|².
+func (s *State) Probability(basis int) float64 {
+	a := s.amp[basis]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Norm returns ⟨ψ|ψ⟩ (1 for any legal evolution, up to float error).
+func (s *State) Norm() float64 {
+	t := 0.0
+	for _, a := range s.amp {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return t
+}
+
+// Clone returns a deep copy.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	copy(c.amp, s.amp)
+	return c
+}
+
+// Fidelity returns |⟨ψ|φ⟩|² between two states of equal width.
+func (s *State) Fidelity(o *State) float64 {
+	if s.n != o.n {
+		return 0
+	}
+	var ip complex128
+	for i := range s.amp {
+		ip += cmplx.Conj(s.amp[i]) * o.amp[i]
+	}
+	return real(ip)*real(ip) + imag(ip)*imag(ip)
+}
+
+// apply1 applies the 2×2 matrix {{a,b},{c,d}} to qubit q.
+func (s *State) apply1(q int, a, b, c, d complex128) {
+	bit := 1 << q
+	for i := 0; i < len(s.amp); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		x, y := s.amp[i], s.amp[j]
+		s.amp[i] = a*x + b*y
+		s.amp[j] = c*x + d*y
+	}
+}
+
+// apply2 applies a 4×4 matrix m (row-major over basis |q1 q0⟩ = |00⟩,|01⟩,
+// |10⟩,|11⟩ with q0 the first operand) to the qubit pair (q0, q1).
+func (s *State) apply2(q0, q1 int, m *[4][4]complex128) {
+	b0, b1 := 1<<q0, 1<<q1
+	for i := 0; i < len(s.amp); i++ {
+		if i&b0 != 0 || i&b1 != 0 {
+			continue
+		}
+		idx := [4]int{i, i | b0, i | b1, i | b0 | b1}
+		var in [4]complex128
+		for k := 0; k < 4; k++ {
+			in[k] = s.amp[idx[k]]
+		}
+		for r := 0; r < 4; r++ {
+			var acc complex128
+			for c := 0; c < 4; c++ {
+				acc += m[r][c] * in[c]
+			}
+			s.amp[idx[r]] = acc
+		}
+	}
+}
+
+var invSqrt2 = complex(1/math.Sqrt2, 0)
+
+// Apply applies one gate. Measurements are rejected — the simulator is a
+// unitary checker; use Probability to inspect outcome distributions.
+func (s *State) Apply(g circuit.Gate) error {
+	switch g.Kind {
+	case circuit.KindBarrier:
+		return nil
+	case circuit.KindMeasure:
+		return fmt.Errorf("quantum: measurement is not unitary; strip measurements before simulating")
+	}
+	for _, q := range g.Operands() {
+		if q < 0 || q >= s.n {
+			return fmt.Errorf("quantum: gate %v out of range for %d qubits", g, s.n)
+		}
+	}
+	switch g.Kind {
+	case circuit.KindH:
+		s.apply1(g.Qubits[0], invSqrt2, invSqrt2, invSqrt2, -invSqrt2)
+	case circuit.KindX:
+		s.apply1(g.Qubits[0], 0, 1, 1, 0)
+	case circuit.KindY:
+		s.apply1(g.Qubits[0], 0, -1i, 1i, 0)
+	case circuit.KindZ:
+		s.apply1(g.Qubits[0], 1, 0, 0, -1)
+	case circuit.KindS:
+		s.apply1(g.Qubits[0], 1, 0, 0, 1i)
+	case circuit.KindSdg:
+		s.apply1(g.Qubits[0], 1, 0, 0, -1i)
+	case circuit.KindT:
+		s.apply1(g.Qubits[0], 1, 0, 0, cmplx.Exp(1i*math.Pi/4))
+	case circuit.KindTdg:
+		s.apply1(g.Qubits[0], 1, 0, 0, cmplx.Exp(-1i*math.Pi/4))
+	case circuit.KindRX:
+		c, sn := cplxCos(g.Param/2), cplxSin(g.Param/2)
+		s.apply1(g.Qubits[0], c, -1i*sn, -1i*sn, c)
+	case circuit.KindRY:
+		c, sn := cplxCos(g.Param/2), cplxSin(g.Param/2)
+		s.apply1(g.Qubits[0], c, -sn, sn, c)
+	case circuit.KindRZ, circuit.KindU:
+		e0, e1 := cmplx.Exp(complex(0, -g.Param/2)), cmplx.Exp(complex(0, g.Param/2))
+		s.apply1(g.Qubits[0], e0, 0, 0, e1)
+	case circuit.KindCX:
+		m := ident4()
+		// control = first operand (bit q0), target = second (bit q1):
+		// swap rows |01⟩ ↔ |11⟩ in the (q0, q1) ordering where index bit
+		// 0 is the control.
+		m[1][1], m[1][3] = 0, 1
+		m[3][3], m[3][1] = 0, 1
+		s.apply2(g.Qubits[0], g.Qubits[1], m)
+	case circuit.KindCZ:
+		m := ident4()
+		m[3][3] = -1
+		s.apply2(g.Qubits[0], g.Qubits[1], m)
+	case circuit.KindCP:
+		m := ident4()
+		m[3][3] = cmplx.Exp(complex(0, g.Param))
+		s.apply2(g.Qubits[0], g.Qubits[1], m)
+	case circuit.KindRZZ:
+		m := ident4()
+		e0, e1 := cmplx.Exp(complex(0, -g.Param/2)), cmplx.Exp(complex(0, g.Param/2))
+		m[0][0], m[3][3] = e0, e0
+		m[1][1], m[2][2] = e1, e1
+		s.apply2(g.Qubits[0], g.Qubits[1], m)
+	case circuit.KindMS, circuit.KindRXX:
+		// Mølmer–Sørensen: exp(-i θ/2 X⊗X); the maximally entangling gate
+		// uses θ=π/2 (the default when no angle is given).
+		theta := g.Param
+		if theta == 0 {
+			theta = math.Pi / 2
+		}
+		c, sn := cplxCos(theta/2), complex(0, -1)*cplxSin(theta/2)
+		m := &[4][4]complex128{
+			{c, 0, 0, sn},
+			{0, c, sn, 0},
+			{0, sn, c, 0},
+			{sn, 0, 0, c},
+		}
+		s.apply2(g.Qubits[0], g.Qubits[1], m)
+	case circuit.KindSwap:
+		m := ident4()
+		m[1][1], m[1][2] = 0, 1
+		m[2][2], m[2][1] = 0, 1
+		s.apply2(g.Qubits[0], g.Qubits[1], m)
+	default:
+		return fmt.Errorf("quantum: unsupported gate kind %v", g.Kind)
+	}
+	return nil
+}
+
+func ident4() *[4][4]complex128 {
+	return &[4][4]complex128{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}}
+}
+
+func cplxCos(x float64) complex128 { return complex(math.Cos(x), 0) }
+func cplxSin(x float64) complex128 { return complex(math.Sin(x), 0) }
+
+// Run applies the circuit's gates in the given order (indices into
+// c.Gates); order == nil means program order. Measurements are skipped —
+// callers compare pre-measurement states.
+func Run(c *circuit.Circuit, order []int) (*State, error) {
+	s, err := NewState(c.NumQubits)
+	if err != nil {
+		return nil, err
+	}
+	apply := func(g circuit.Gate) error {
+		if g.Kind == circuit.KindMeasure {
+			return nil
+		}
+		return s.Apply(g)
+	}
+	if order == nil {
+		for _, g := range c.Gates {
+			if err := apply(g); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	for _, gi := range order {
+		if gi < 0 || gi >= len(c.Gates) {
+			return nil, fmt.Errorf("quantum: gate index %d out of range", gi)
+		}
+		if err := apply(c.Gates[gi]); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,268 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mussti/internal/circuit"
+)
+
+const tol = 1e-9
+
+func TestNewStateBounds(t *testing.T) {
+	if _, err := NewState(0); err == nil {
+		t.Error("0 qubits accepted")
+	}
+	if _, err := NewState(25); err == nil {
+		t.Error("25 qubits accepted")
+	}
+	s := MustNewState(3)
+	if s.Probability(0) != 1 {
+		t.Error("initial state not |000>")
+	}
+	if math.Abs(s.Norm()-1) > tol {
+		t.Error("initial norm != 1")
+	}
+}
+
+func TestBellState(t *testing.T) {
+	c := circuit.New("bell", 2)
+	c.H(0)
+	c.CX(0, 1)
+	s, err := Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Probability(0b00)-0.5) > tol || math.Abs(s.Probability(0b11)-0.5) > tol {
+		t.Errorf("bell probabilities: %v %v %v %v",
+			s.Probability(0), s.Probability(1), s.Probability(2), s.Probability(3))
+	}
+	if s.Probability(0b01) > tol || s.Probability(0b10) > tol {
+		t.Error("bell state has odd-parity amplitude")
+	}
+}
+
+func TestGHZAmplitudes(t *testing.T) {
+	n := 5
+	c := circuit.New("ghz", n)
+	c.H(0)
+	for i := 0; i+1 < n; i++ {
+		c.CX(i, i+1)
+	}
+	s, err := Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all1 := (1 << n) - 1
+	if math.Abs(s.Probability(0)-0.5) > tol || math.Abs(s.Probability(all1)-0.5) > tol {
+		t.Errorf("GHZ endpoints: %v, %v", s.Probability(0), s.Probability(all1))
+	}
+}
+
+func TestBVRecoversSecret(t *testing.T) {
+	// Bernstein–Vazirani with secret 0b1011 over 4 data qubits + ancilla.
+	n := 5
+	secret := 0b1011
+	c := circuit.New("bv", n)
+	anc := 4
+	c.X(anc)
+	for i := 0; i < n; i++ {
+		c.H(i)
+	}
+	for i := 0; i < 4; i++ {
+		if secret&(1<<i) != 0 {
+			c.CX(i, anc)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		c.H(i)
+	}
+	s, err := Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data register must be exactly |secret>; ancilla is in |->.
+	p := 0.0
+	for ancBit := 0; ancBit < 2; ancBit++ {
+		p += s.Probability(secret | ancBit<<4)
+	}
+	if math.Abs(p-1) > tol {
+		t.Errorf("P(secret) = %v, want 1", p)
+	}
+}
+
+func TestQFTOfZeroIsUniform(t *testing.T) {
+	n := 4
+	c := circuit.New("qft", n)
+	for i := 0; i < n; i++ {
+		c.H(i)
+		for j := i + 1; j < n; j++ {
+			c.CP(math.Pi/math.Pow(2, float64(j-i)), j, i)
+		}
+	}
+	s, err := Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / float64(int(1)<<n)
+	for b := 0; b < 1<<n; b++ {
+		if math.Abs(s.Probability(b)-want) > tol {
+			t.Fatalf("P(%d) = %v, want %v", b, s.Probability(b), want)
+		}
+	}
+}
+
+func TestSwapGate(t *testing.T) {
+	c := circuit.New("swap", 2)
+	c.X(0)
+	c.Swap(0, 1)
+	s, err := Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Probability(0b10)-1) > tol {
+		t.Errorf("swap failed: P(10) = %v", s.Probability(0b10))
+	}
+}
+
+func TestSwapEqualsThreeMS(t *testing.T) {
+	// Up to local rotations, SWAP is three MS gates; here we verify the
+	// scheduling-level identity on populations of a separable input: the
+	// MS-only triple realises the same interaction count the paper's T≥3
+	// threshold reasons about. (The exact unitary differs by local frames,
+	// so compare the entangling power instead: both leave |00> invariant.)
+	c := circuit.New("ms3", 2)
+	c.MS(0, 1)
+	c.MS(0, 1)
+	c.MS(0, 1)
+	s, err := Run(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// exp(-i 3π/4 XX)|00> = cos(3π/4)|00> - i sin(3π/4)|11>.
+	if math.Abs(s.Probability(0b00)-0.5) > tol || math.Abs(s.Probability(0b11)-0.5) > tol {
+		t.Errorf("3-MS populations: %v / %v", s.Probability(0), s.Probability(3))
+	}
+}
+
+func TestCXTruthTable(t *testing.T) {
+	for in, want := range map[int]int{0b00: 0b00, 0b01: 0b11, 0b10: 0b10, 0b11: 0b01} {
+		c := circuit.New("cx", 2)
+		if in&1 != 0 {
+			c.X(0)
+		}
+		if in&2 != 0 {
+			c.X(1)
+		}
+		c.CX(0, 1)
+		s, err := Run(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.Probability(want)-1) > tol {
+			t.Errorf("CX|%02b>: P(%02b) = %v, want 1", in, want, s.Probability(want))
+		}
+	}
+}
+
+func TestMeasureRejected(t *testing.T) {
+	s := MustNewState(1)
+	if err := s.Apply(circuit.NewGate1(circuit.KindMeasure, 0)); err == nil {
+		t.Error("measurement accepted by unitary simulator")
+	}
+}
+
+func TestRunSkipsMeasurements(t *testing.T) {
+	c := circuit.New("m", 1)
+	c.H(0)
+	c.Measure(0)
+	if _, err := Run(c, nil); err != nil {
+		t.Errorf("Run should skip measurements: %v", err)
+	}
+}
+
+func TestFidelitySelfAndOrthogonal(t *testing.T) {
+	a := MustNewState(2)
+	if f := a.Fidelity(a.Clone()); math.Abs(f-1) > tol {
+		t.Errorf("self fidelity = %v", f)
+	}
+	b := MustNewState(2)
+	if err := b.Apply(circuit.NewGate1(circuit.KindX, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if f := a.Fidelity(b); f > tol {
+		t.Errorf("orthogonal fidelity = %v", f)
+	}
+	if a.Fidelity(MustNewState(3)) != 0 {
+		t.Error("width mismatch fidelity != 0")
+	}
+}
+
+func TestPropertyNormPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.New("r", 4)
+		for i := 0; i < 25; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				c.H(rng.Intn(4))
+			case 1:
+				c.T(rng.Intn(4))
+			case 2:
+				c.RX(rng.Float64()*6, rng.Intn(4))
+			case 3:
+				c.RZ(rng.Float64()*6, rng.Intn(4))
+			default:
+				a, b := rng.Intn(4), rng.Intn(4)
+				if a != b {
+					c.MS(a, b)
+				}
+			}
+		}
+		s, err := Run(c, nil)
+		if err != nil {
+			return false
+		}
+		return math.Abs(s.Norm()-1) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDisjointGatesCommute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := circuit.New("r", 4)
+		c.H(0)
+		c.H(2)
+		c.MS(0, 1) // disjoint from (2,3)
+		c.MS(2, 3)
+		c.RZ(rng.Float64()*3, 0)
+		c.RX(rng.Float64()*3, 3)
+		a, err := Run(c, nil)
+		if err != nil {
+			return false
+		}
+		// Swap the two disjoint MS gates (indices 2 and 3).
+		order := []int{0, 1, 3, 2, 4, 5}
+		b, err := Run(c, order)
+		if err != nil {
+			return false
+		}
+		return math.Abs(a.Fidelity(b)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunRejectsBadOrder(t *testing.T) {
+	c := circuit.New("b", 2)
+	c.H(0)
+	if _, err := Run(c, []int{5}); err == nil {
+		t.Error("out-of-range order accepted")
+	}
+}

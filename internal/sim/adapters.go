@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"mussti/internal/arch"
+	"mussti/internal/physics"
+)
+
+// ZonesOfDevice flattens an EML-QCCD device into the engine's zone list.
+// Zone IDs are preserved, so compilers can use arch zone IDs directly.
+func ZonesOfDevice(d *arch.Device) []ZoneInfo {
+	zs := make([]ZoneInfo, len(d.Zones))
+	for i, z := range d.Zones {
+		zs[i] = ZoneInfo{
+			Capacity:    z.Capacity,
+			GateCapable: z.Level.GateCapable(),
+			Optical:     z.Level == arch.LevelOptical,
+			Module:      z.Module,
+		}
+	}
+	return zs
+}
+
+// ZonesOfGrid flattens a baseline grid into the engine's zone list. Every
+// trap is gate-capable and non-optical; trap IDs are preserved.
+func ZonesOfGrid(g *arch.Grid) []ZoneInfo {
+	zs := make([]ZoneInfo, g.NumTraps())
+	for i := range zs {
+		zs[i] = ZoneInfo{Capacity: g.Capacity, GateCapable: true, Optical: false, Module: 0}
+	}
+	return zs
+}
+
+// NewDeviceEngine builds an engine over an EML-QCCD device.
+func NewDeviceEngine(d *arch.Device, n int, p physics.Params) *Engine {
+	return NewEngine(ZonesOfDevice(d), n, p)
+}
+
+// NewGridEngine builds an engine over a baseline grid.
+func NewGridEngine(g *arch.Grid, n int, p physics.Params) *Engine {
+	return NewEngine(ZonesOfGrid(g), n, p)
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+
+	"mussti/internal/arch"
+	"mussti/internal/physics"
+)
+
+func TestZonesOfDevicePreservesIDsAndRoles(t *testing.T) {
+	d := arch.MustNew(arch.DefaultConfig(32))
+	zs := ZonesOfDevice(d)
+	if len(zs) != d.NumZones() {
+		t.Fatalf("zones = %d, want %d", len(zs), d.NumZones())
+	}
+	for i, z := range zs {
+		az := d.Zone(i)
+		if z.Module != az.Module || z.Capacity != az.Capacity {
+			t.Errorf("zone %d: %+v vs arch %+v", i, z, az)
+		}
+		if z.Optical != (az.Level == arch.LevelOptical) {
+			t.Errorf("zone %d optical flag wrong", i)
+		}
+		if z.GateCapable != az.Level.GateCapable() {
+			t.Errorf("zone %d gate-capable flag wrong", i)
+		}
+	}
+}
+
+func TestZonesOfGridAllGateCapable(t *testing.T) {
+	g := arch.MustNewGrid(3, 4, 8)
+	zs := ZonesOfGrid(g)
+	if len(zs) != 12 {
+		t.Fatalf("zones = %d, want 12", len(zs))
+	}
+	for i, z := range zs {
+		if !z.GateCapable || z.Optical || z.Module != 0 || z.Capacity != 8 {
+			t.Errorf("trap %d: %+v", i, z)
+		}
+	}
+}
+
+func TestNewDeviceAndGridEngines(t *testing.T) {
+	d := arch.MustNew(arch.DefaultConfig(32))
+	e := NewDeviceEngine(d, 32, physics.Default())
+	if e.NumQubits() != 32 {
+		t.Errorf("device engine qubits = %d", e.NumQubits())
+	}
+	g := arch.MustNewGrid(2, 2, 12)
+	e = NewGridEngine(g, 30, physics.Default())
+	if e.NumQubits() != 30 {
+		t.Errorf("grid engine qubits = %d", e.NumQubits())
+	}
+	if err := e.Place(0, 3); err != nil {
+		t.Errorf("place on grid engine: %v", err)
+	}
+}

@@ -1,0 +1,421 @@
+// Package sim executes compiler-emitted operation sequences against a
+// zone-occupancy model, enforcing hardware legality and accumulating the
+// paper's three metrics: shuttle count, execution-time estimate and
+// fidelity (§4 "Metrics").
+//
+// The engine is architecture-agnostic: both the EML-QCCD device and the
+// monolithic baseline grid present themselves as a flat list of zones with
+// capacity, gate capability, an optical flag and a module tag. Compilers
+// drive the engine imperatively (Move, Gate2, Fiber, ...); the engine
+// maintains chain order inside each trap — shuttling is only legal at chain
+// edges, so an interior ion pays chain-Swap operations to reach an edge
+// first, exactly the constraint Fig. 4 of the paper highlights.
+//
+// Timing uses per-resource availability: every operation starts when the
+// zones and qubits it touches are free and occupies them for its duration.
+// The makespan of the busiest resource is the execution-time estimate;
+// independent zones overlap freely, which is how the paper's simulator
+// credits parallelism across traps.
+package sim
+
+import (
+	"fmt"
+
+	"mussti/internal/physics"
+)
+
+// ZoneInfo describes one trap segment to the engine.
+type ZoneInfo struct {
+	// Capacity is the maximum chain length.
+	Capacity int
+	// GateCapable marks zones where two-qubit MS gates may run
+	// (operation + optical zones on EML; every trap on the grid).
+	GateCapable bool
+	// Optical marks fiber-entanglement-capable zones.
+	Optical bool
+	// Module tags the owning module; fiber gates require different
+	// modules. Grid traps all share module 0 (no fiber possible anyway).
+	Module int
+}
+
+// Metrics aggregates everything the evaluation reports.
+type Metrics struct {
+	// Shuttles counts trap-to-trap ion transfers (one Split+Move+Merge
+	// composite each) — the paper's headline metric.
+	Shuttles int
+	// ChainSwaps counts in-trap reorder swaps spent reaching chain edges.
+	ChainSwaps int
+	// Gates1, Gates2, FiberGates, Measurements count executed operations.
+	Gates1       int
+	Gates2       int
+	FiberGates   int
+	Measurements int
+	// InsertedSwaps counts logical SWAPs added by the compiler (each is
+	// three fiber-entangled MS gates, §3.3).
+	InsertedSwaps int
+	// MakespanUS is the execution-time estimate in µs.
+	MakespanUS float64
+	// Fidelity is the running log-space product over all operations.
+	Fidelity physics.Fidelity
+}
+
+// Op is one timed entry of the optional execution trace.
+type Op struct {
+	Kind    string
+	Qubits  []int
+	Zone    int // primary zone (destination for moves)
+	ZoneB   int // secondary zone (source for moves, partner for fiber); -1 if none
+	StartUS float64
+	DurUS   float64
+}
+
+// Engine is the execution state: chain contents, per-zone heat, resource
+// availability and metrics.
+type Engine struct {
+	zones  []ZoneInfo
+	params physics.Params
+
+	chains  [][]int // per zone: ordered logical qubits (chain order)
+	loc     []int   // per qubit: zone ID, -1 when unplaced
+	heat    []float64
+	availZ  []float64
+	availQ  []float64
+	nQubits int
+
+	metrics Metrics
+	trace   []Op
+	keepOp  bool
+}
+
+// NewEngine builds an engine over the given zones for n logical qubits.
+func NewEngine(zones []ZoneInfo, n int, p physics.Params) *Engine {
+	e := &Engine{
+		zones:   zones,
+		params:  p,
+		chains:  make([][]int, len(zones)),
+		loc:     make([]int, n),
+		heat:    make([]float64, len(zones)),
+		availZ:  make([]float64, len(zones)),
+		availQ:  make([]float64, n),
+		nQubits: n,
+	}
+	for i := range e.loc {
+		e.loc[i] = -1
+	}
+	return e
+}
+
+// EnableTrace turns on op recording (used by tests and the CLI -trace flag).
+func (e *Engine) EnableTrace() { e.keepOp = true }
+
+// Trace returns the recorded ops (nil unless EnableTrace was called).
+func (e *Engine) Trace() []Op { return e.trace }
+
+// Metrics returns a snapshot of the accumulated metrics with the makespan
+// finalised.
+func (e *Engine) Metrics() Metrics {
+	m := e.metrics
+	m.MakespanUS = 0
+	for _, t := range e.availZ {
+		if t > m.MakespanUS {
+			m.MakespanUS = t
+		}
+	}
+	for _, t := range e.availQ {
+		if t > m.MakespanUS {
+			m.MakespanUS = t
+		}
+	}
+	return m
+}
+
+// NumQubits returns the logical register width.
+func (e *Engine) NumQubits() int { return e.nQubits }
+
+// ZoneOf returns the zone currently holding q (-1 if unplaced).
+func (e *Engine) ZoneOf(q int) int { return e.loc[q] }
+
+// Chain returns the chain content of zone z in order. The returned slice is
+// the engine's own storage; callers must not mutate it.
+func (e *Engine) Chain(z int) []int { return e.chains[z] }
+
+// Load returns the current chain length of zone z.
+func (e *Engine) Load(z int) int { return len(e.chains[z]) }
+
+// Free returns the remaining capacity of zone z.
+func (e *Engine) Free(z int) int { return e.zones[z].Capacity - len(e.chains[z]) }
+
+// Heat returns the accumulated motional heat of zone z.
+func (e *Engine) Heat(z int) float64 { return e.heat[z] }
+
+// Info returns the static description of zone z.
+func (e *Engine) Info(z int) ZoneInfo { return e.zones[z] }
+
+// Place sets the initial position of q without cost. It errors when the
+// zone is full or q is already placed; initial mapping must be consistent.
+func (e *Engine) Place(q, z int) error {
+	if q < 0 || q >= e.nQubits {
+		return fmt.Errorf("sim: place qubit %d out of range", q)
+	}
+	if e.loc[q] != -1 {
+		return fmt.Errorf("sim: qubit %d already placed in zone %d", q, e.loc[q])
+	}
+	if z < 0 || z >= len(e.zones) {
+		return fmt.Errorf("sim: place into invalid zone %d", z)
+	}
+	if len(e.chains[z]) >= e.zones[z].Capacity {
+		return fmt.Errorf("sim: zone %d full (capacity %d)", z, e.zones[z].Capacity)
+	}
+	e.chains[z] = append(e.chains[z], q)
+	e.loc[q] = z
+	return nil
+}
+
+func (e *Engine) record(kind string, qs []int, zone, zoneB int, start, dur float64) {
+	if e.keepOp {
+		e.trace = append(e.trace, Op{Kind: kind, Qubits: append([]int(nil), qs...), Zone: zone, ZoneB: zoneB, StartUS: start, DurUS: dur})
+	}
+}
+
+// indexInChain returns q's index within its chain.
+func (e *Engine) indexInChain(q int) int {
+	z := e.loc[q]
+	for i, ion := range e.chains[z] {
+		if ion == q {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("sim: qubit %d not found in its zone %d chain", q, z))
+}
+
+// Move shuttles q from its current zone to dst, paying chain swaps to reach
+// the nearer chain edge, then Split, Move (over distanceUM) and Merge. It
+// errors when dst is full, identical to the source, or q is unplaced — all
+// compiler bugs that must surface.
+func (e *Engine) Move(q, dst int, distanceUM float64) error {
+	src := e.loc[q]
+	if src == -1 {
+		return fmt.Errorf("sim: move of unplaced qubit %d", q)
+	}
+	if dst < 0 || dst >= len(e.zones) {
+		return fmt.Errorf("sim: move to invalid zone %d", dst)
+	}
+	if dst == src {
+		return fmt.Errorf("sim: qubit %d moved to its own zone %d", q, src)
+	}
+	if len(e.chains[dst]) >= e.zones[dst].Capacity {
+		return fmt.Errorf("sim: move qubit %d to full zone %d (capacity %d)", q, dst, e.zones[dst].Capacity)
+	}
+	p := e.params
+
+	idx := e.indexInChain(q)
+	l := len(e.chains[src])
+	swaps := idx
+	if l-1-idx < swaps {
+		swaps = l - 1 - idx
+	}
+
+	start := maxf(e.availZ[src], e.availZ[dst], e.availQ[q])
+	t := start
+	// Chain swaps to reach the nearer edge.
+	for s := 0; s < swaps; s++ {
+		e.heat[src] += p.SwapHeat
+		e.metrics.Fidelity.MulLog(p.ShuttleLogF(p.SwapTimeUS, p.SwapHeat))
+		e.record("chainswap", []int{q}, src, -1, t, p.SwapTimeUS)
+		t += p.SwapTimeUS
+	}
+	e.metrics.ChainSwaps += swaps
+
+	// Split from the source chain.
+	e.heat[src] += p.SplitHeat
+	e.metrics.Fidelity.MulLog(p.ShuttleLogF(p.SplitTimeUS, p.SplitHeat))
+	e.record("split", []int{q}, src, -1, t, p.SplitTimeUS)
+	t += p.SplitTimeUS
+	srcFree := t // source zone is free once the ion has split off
+
+	// Move over the physical distance.
+	mt := p.MoveTimeUS(distanceUM)
+	e.heat[dst] += p.MoveHeat
+	e.metrics.Fidelity.MulLog(p.ShuttleLogF(mt, p.MoveHeat))
+	e.record("move", []int{q}, dst, src, t, mt)
+	t += mt
+
+	// Merge into the destination chain.
+	e.heat[dst] += p.MergeHeat
+	e.metrics.Fidelity.MulLog(p.ShuttleLogF(p.MergeTimeUS, p.MergeHeat))
+	e.record("merge", []int{q}, dst, src, t, p.MergeTimeUS)
+	t += p.MergeTimeUS
+
+	e.metrics.Shuttles++
+	e.availZ[src] = srcFree
+	e.availZ[dst] = t
+	e.availQ[q] = t
+
+	// Update occupancy: remove from src preserving order, append at dst edge.
+	chain := e.chains[src]
+	e.chains[src] = append(chain[:idx], chain[idx+1:]...)
+	e.chains[dst] = append(e.chains[dst], q)
+	e.loc[q] = dst
+	return nil
+}
+
+// Gate1 executes a one-qubit gate on q in place.
+func (e *Engine) Gate1(q int) error {
+	z := e.loc[q]
+	if z == -1 {
+		return fmt.Errorf("sim: 1q gate on unplaced qubit %d", q)
+	}
+	p := e.params
+	start := maxf(e.availZ[z], e.availQ[q])
+	e.metrics.Fidelity.MulLog(p.Gate1LogF(p.BackgroundLogF(e.heat[z])))
+	e.record("gate1", []int{q}, z, -1, start, p.Gate1TimeUS)
+	end := start + p.Gate1TimeUS
+	e.availZ[z] = end
+	e.availQ[q] = end
+	e.metrics.Gates1++
+	return nil
+}
+
+// Measure executes a measurement; modelled like a one-qubit op with 1q
+// duration (readout fidelity folded into Gate1Fidelity).
+func (e *Engine) Measure(q int) error {
+	if err := e.Gate1(q); err != nil {
+		return err
+	}
+	e.metrics.Gates1--
+	e.metrics.Measurements++
+	return nil
+}
+
+// Gate2 executes a two-qubit MS gate; both qubits must share one
+// gate-capable zone.
+func (e *Engine) Gate2(a, b int) error {
+	za, zb := e.loc[a], e.loc[b]
+	if za == -1 || zb == -1 {
+		return fmt.Errorf("sim: 2q gate on unplaced qubit (%d@%d, %d@%d)", a, za, b, zb)
+	}
+	if za != zb {
+		return fmt.Errorf("sim: 2q gate %d-%d across zones %d and %d", a, b, za, zb)
+	}
+	if !e.zones[za].GateCapable {
+		return fmt.Errorf("sim: 2q gate %d-%d in non-gate-capable zone %d", a, b, za)
+	}
+	p := e.params
+	start := maxf(e.availZ[za], e.availQ[a], e.availQ[b])
+	n := len(e.chains[za])
+	e.metrics.Fidelity.MulLog(p.Gate2LogF(n, p.BackgroundLogF(e.heat[za])))
+	e.record("gate2", []int{a, b}, za, -1, start, p.Gate2TimeUS)
+	end := start + p.Gate2TimeUS
+	e.availZ[za] = end
+	e.availQ[a] = end
+	e.availQ[b] = end
+	e.metrics.Gates2++
+	return nil
+}
+
+// Fiber executes one fiber-entangled two-qubit gate between qubits sitting
+// in optical zones of two different modules.
+func (e *Engine) Fiber(a, b int) error {
+	za, zb := e.loc[a], e.loc[b]
+	if za == -1 || zb == -1 {
+		return fmt.Errorf("sim: fiber gate on unplaced qubit (%d@%d, %d@%d)", a, za, b, zb)
+	}
+	if za == zb {
+		return fmt.Errorf("sim: fiber gate %d-%d within one zone %d", a, b, za)
+	}
+	ia, ib := e.zones[za], e.zones[zb]
+	if !ia.Optical || !ib.Optical {
+		return fmt.Errorf("sim: fiber gate %d-%d outside optical zones (%d:%v, %d:%v)", a, b, za, ia.Optical, zb, ib.Optical)
+	}
+	if ia.Module == ib.Module {
+		return fmt.Errorf("sim: fiber gate %d-%d within module %d", a, b, ia.Module)
+	}
+	p := e.params
+	start := maxf(e.availZ[za], e.availZ[zb], e.availQ[a], e.availQ[b])
+	e.metrics.Fidelity.MulLog(p.FiberLogF(p.BackgroundLogF(e.heat[za]), p.BackgroundLogF(e.heat[zb])))
+	e.record("fiber", []int{a, b}, za, zb, start, p.FiberTimeUS)
+	end := start + p.FiberTimeUS
+	e.availZ[za] = end
+	e.availZ[zb] = end
+	e.availQ[a] = end
+	e.availQ[b] = end
+	e.metrics.FiberGates++
+	return nil
+}
+
+// InsertedSwap realises a compiler-inserted logical SWAP between qubits on
+// different modules: three fiber-entangled MS gates (§3.3), after which the
+// logical qubits exchange physical positions in the engine's bookkeeping.
+func (e *Engine) InsertedSwap(a, b int) error {
+	for i := 0; i < 3; i++ {
+		if err := e.Fiber(a, b); err != nil {
+			return fmt.Errorf("sim: inserted swap %d-%d: %w", a, b, err)
+		}
+	}
+	e.metrics.InsertedSwaps++
+	// Exchange the physical bindings: position (zone + chain slot) of a now
+	// holds logical b and vice versa.
+	za, zb := e.loc[a], e.loc[b]
+	ia, ib := e.indexInChain(a), e.indexInChain(b)
+	e.chains[za][ia], e.chains[zb][ib] = b, a
+	e.loc[a], e.loc[b] = zb, za
+	// Their availability timestamps travel with the logical qubits and are
+	// already equal after the three fiber ops.
+	return nil
+}
+
+// SwapsToEdge returns how many chain swaps a move of q would pay to reach
+// the nearer edge of its current chain. Schedulers use it for cost
+// estimates. Returns 0 for unplaced qubits.
+func (e *Engine) SwapsToEdge(q int) int {
+	if e.loc[q] == -1 {
+		return 0
+	}
+	idx := e.indexInChain(q)
+	l := len(e.chains[e.loc[q]])
+	s := idx
+	if l-1-idx < s {
+		s = l - 1 - idx
+	}
+	return s
+}
+
+// CheckConsistency verifies internal invariants: every placed qubit appears
+// in exactly the chain its loc claims, chains respect capacity and contain
+// no duplicates. Property tests run this after random op sequences.
+func (e *Engine) CheckConsistency() error {
+	seen := make(map[int]int)
+	for z, chain := range e.chains {
+		if len(chain) > e.zones[z].Capacity {
+			return fmt.Errorf("sim: zone %d over capacity: %d > %d", z, len(chain), e.zones[z].Capacity)
+		}
+		for _, q := range chain {
+			if prev, dup := seen[q]; dup {
+				return fmt.Errorf("sim: qubit %d in zones %d and %d", q, prev, z)
+			}
+			seen[q] = z
+			if e.loc[q] != z {
+				return fmt.Errorf("sim: qubit %d loc %d but found in zone %d", q, e.loc[q], z)
+			}
+		}
+	}
+	for q, z := range e.loc {
+		if z == -1 {
+			continue
+		}
+		if zz, ok := seen[q]; !ok || zz != z {
+			return fmt.Errorf("sim: qubit %d claims zone %d but chain disagrees", q, z)
+		}
+	}
+	return nil
+}
+
+func maxf(xs ...float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

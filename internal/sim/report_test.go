@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mussti/internal/physics"
+)
+
+func reportEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(twoModuleZones(4), 4, physics.Default())
+	e.EnableTrace()
+	for q, z := range []int{1, 1, 4, 4} {
+		if err := e.Place(q, z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Gate2(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Move(0, 2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Move(2, 5, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fiber(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBuildReport(t *testing.T) {
+	e := reportEngine(t)
+	r := e.BuildReport()
+	if r.Shuttles != 2 || r.FiberGates != 1 {
+		t.Errorf("summary = %+v", r)
+	}
+	if len(r.Zones) != 6 {
+		t.Fatalf("zones = %d, want 6", len(r.Zones))
+	}
+	// The optical zones hosted the fiber gate: both must show busy time.
+	if r.Zones[2].BusyUS == 0 || r.Zones[5].BusyUS == 0 {
+		t.Error("optical zones show no busy time after a fiber gate")
+	}
+	// Zones that moved ions accumulated heat.
+	if r.HottestHeat <= 0 {
+		t.Error("no heat recorded")
+	}
+	if r.MaxUtilShare <= 0 || r.MaxUtilShare > 1 {
+		t.Errorf("utilization share = %v", r.MaxUtilShare)
+	}
+	// Final loads sum to the ion count.
+	total := 0
+	for _, z := range r.Zones {
+		total += z.FinalLoad
+	}
+	if total != 4 {
+		t.Errorf("final loads sum to %d, want 4", total)
+	}
+}
+
+func TestReportWriteText(t *testing.T) {
+	e := reportEngine(t)
+	var buf bytes.Buffer
+	if err := e.BuildReport().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"makespan", "optical", "zone"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	e := reportEngine(t)
+	var buf bytes.Buffer
+	if err := WriteScheduleJSON(&buf, 4, e.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	n, ops, err := ReadScheduleJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("qubits = %d, want 4", n)
+	}
+	if len(ops) != len(e.Trace()) {
+		t.Fatalf("ops = %d, want %d", len(ops), len(e.Trace()))
+	}
+	for i := range ops {
+		a, b := ops[i], e.Trace()[i]
+		if a.Kind != b.Kind || a.Zone != b.Zone || a.StartUS != b.StartUS {
+			t.Errorf("op %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestScheduleJSONErrors(t *testing.T) {
+	if _, _, err := ReadScheduleJSON(strings.NewReader("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, _, err := ReadScheduleJSON(strings.NewReader(`{"numQubits":0,"ops":[]}`)); err == nil {
+		t.Error("zero qubit count accepted")
+	}
+}
+
+func TestTopHotZones(t *testing.T) {
+	e := reportEngine(t)
+	r := e.BuildReport()
+	top := r.TopHotZones(2)
+	if len(top) != 2 {
+		t.Fatalf("top = %d entries", len(top))
+	}
+	if top[0].Heat < top[1].Heat {
+		t.Error("hot zones not sorted")
+	}
+	all := r.TopHotZones(100)
+	if len(all) != len(r.Zones) {
+		t.Errorf("TopHotZones(100) = %d, want all %d", len(all), len(r.Zones))
+	}
+}

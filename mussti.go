@@ -1,0 +1,214 @@
+// Package mussti is the public API of the MUSS-TI reproduction: a
+// multi-level shuttle-scheduling compiler for entanglement-module-linked
+// trapped-ion (EML-QCCD) devices, after Wu et al., MICRO 2025.
+//
+// A minimal session:
+//
+//	c := mussti.Benchmark("QFT_n32")              // or build a Circuit by hand
+//	dev := mussti.NewDevice(mussti.DeviceConfigFor(c.NumQubits))
+//	res, err := mussti.Compile(c, dev, mussti.DefaultOptions())
+//	fmt.Println(res.Metrics.Shuttles, res.Metrics.Fidelity.Log10())
+//
+// The package re-exports the stable parts of the internal packages:
+// circuit construction (Circuit, Gate), benchmark generators, EML-QCCD and
+// grid architectures, the physics model, the MUSS-TI compiler, the three
+// baseline compilers, and the experiment harness that regenerates every
+// table and figure of the paper.
+package mussti
+
+import (
+	"io"
+
+	"mussti/internal/arch"
+	"mussti/internal/baseline"
+	"mussti/internal/circuit"
+	"mussti/internal/circuit/bench"
+	"mussti/internal/core"
+	"mussti/internal/eval"
+	"mussti/internal/physics"
+	"mussti/internal/sim"
+)
+
+// Circuit is the quantum-circuit IR: an ordered gate list over n qubits.
+type Circuit = circuit.Circuit
+
+// Gate is a single circuit operation.
+type Gate = circuit.Gate
+
+// Kind tags a gate's operation.
+type Kind = circuit.Kind
+
+// Re-exported gate kinds (the full set lives in internal/circuit).
+const (
+	KindH       = circuit.KindH
+	KindX       = circuit.KindX
+	KindRZ      = circuit.KindRZ
+	KindMS      = circuit.KindMS
+	KindCX      = circuit.KindCX
+	KindCZ      = circuit.KindCZ
+	KindCP      = circuit.KindCP
+	KindSwap    = circuit.KindSwap
+	KindMeasure = circuit.KindMeasure
+)
+
+// NewCircuit returns an empty named circuit over n qubits.
+func NewCircuit(name string, n int) *Circuit { return circuit.New(name, n) }
+
+// ParseQASM reads an OpenQASM 2.0 subset (QASMBench-style files).
+func ParseQASM(name string, r io.Reader) (*Circuit, error) { return circuit.ParseQASM(name, r) }
+
+// LowerToNative rewrites a circuit into the trapped-ion native gate set:
+// Mølmer–Sørensen entangling gates plus one-qubit rotations (SWAP becomes
+// three MS gates — the identity behind the paper's T≥3 threshold).
+func LowerToNative(c *Circuit) *Circuit { return circuit.LowerToNative(c) }
+
+// OptimizeOneQubit cancels and merges adjacent one-qubit gates; two-qubit
+// gates and measurements act as barriers.
+func OptimizeOneQubit(c *Circuit) *Circuit { return circuit.OptimizeOneQubit(c) }
+
+// Benchmark builds a paper benchmark by its table name, e.g. "Adder_n32",
+// "SQRT_n299". It panics on unknown names; use BenchmarkByName for errors.
+func Benchmark(name string) *Circuit { return bench.MustByName(name) }
+
+// BenchmarkByName builds a paper benchmark, returning an error for unknown
+// or malformed names.
+func BenchmarkByName(name string) (*Circuit, error) { return bench.ByName(name) }
+
+// BenchmarkFamilies lists the supported generator families.
+func BenchmarkFamilies() []string { return bench.Families() }
+
+// Device is an EML-QCCD machine; Grid is the monolithic baseline lattice.
+type (
+	Device       = arch.Device
+	DeviceConfig = arch.Config
+	Grid         = arch.Grid
+	Zone         = arch.Zone
+	Level        = arch.Level
+)
+
+// Zone levels of the EML-QCCD hierarchy.
+const (
+	LevelStorage   = arch.LevelStorage
+	LevelOperation = arch.LevelOperation
+	LevelOptical   = arch.LevelOptical
+)
+
+// DeviceConfigFor returns the paper's standard configuration sized for n
+// qubits (modules in 2×2 blocks, trap capacity 16, 4 optical ports).
+func DeviceConfigFor(n int) DeviceConfig { return arch.DefaultConfig(n) }
+
+// NewDevice builds an EML-QCCD device, panicking on invalid configs; use
+// NewDeviceErr when the config comes from user input.
+func NewDevice(cfg DeviceConfig) *Device { return arch.MustNew(cfg) }
+
+// NewDeviceErr builds an EML-QCCD device.
+func NewDeviceErr(cfg DeviceConfig) (*Device, error) { return arch.New(cfg) }
+
+// NewGrid builds a rows×cols baseline QCCD grid.
+func NewGrid(rows, cols, capacity int) (*Grid, error) { return arch.NewGrid(rows, cols, capacity) }
+
+// Physics model (Table 1 of the paper).
+type PhysicsParams = physics.Params
+
+// DefaultPhysics returns the Table-1 parameters.
+func DefaultPhysics() PhysicsParams { return physics.Default() }
+
+// Compiler types.
+type (
+	// Options configures a MUSS-TI compilation.
+	Options = core.Options
+	// ReplacementPolicy selects the conflict-handling victim policy.
+	ReplacementPolicy = core.ReplacementPolicy
+	// Result is a compilation outcome (metrics + mappings + trace).
+	Result = core.Result
+	// SchedStats counts the scheduler's per-mechanism decisions.
+	SchedStats = core.SchedStats
+	// Metrics aggregates shuttles, times and fidelity for one run.
+	Metrics = sim.Metrics
+	// MappingStrategy selects the initial placement.
+	MappingStrategy = core.MappingStrategy
+)
+
+// Initial-mapping strategies (§3.4 of the paper).
+const (
+	MappingTrivial = core.MappingTrivial
+	MappingSABRE   = core.MappingSABRE
+)
+
+// Replacement policies for the conflict-handling ablation; the default
+// zero value is the paper's LRU scheduler.
+const (
+	ReplaceLRU    = core.ReplaceLRU
+	ReplaceFIFO   = core.ReplaceFIFO
+	ReplaceRandom = core.ReplaceRandom
+	ReplaceBelady = core.ReplaceBelady
+)
+
+// DefaultOptions is the paper's headline configuration: SABRE mapping plus
+// SWAP insertion with k=8 and T=4.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Compile schedules a circuit onto an EML-QCCD device with MUSS-TI.
+func Compile(c *Circuit, d *Device, opts Options) (*Result, error) {
+	return core.Compile(c, d, opts)
+}
+
+// ScheduleOp is one timed entry of a recorded schedule.
+type ScheduleOp = sim.Op
+
+// VerifySchedule independently re-checks a recorded schedule against the
+// circuit and device: zone occupancy, gate legality, per-qubit program
+// order, inserted-SWAP bookkeeping and timing. It shares no state with the
+// execution engine, so scheduler bugs cannot hide behind their own
+// bookkeeping.
+func VerifySchedule(c *Circuit, d *Device, initial []int, trace []ScheduleOp) error {
+	return sim.VerifySchedule(c, sim.ZonesOfDevice(d), initial, trace)
+}
+
+// WriteScheduleJSON serialises a recorded schedule as JSON for external
+// tooling; ReadScheduleJSON loads it back.
+func WriteScheduleJSON(w io.Writer, numQubits int, trace []ScheduleOp) error {
+	return sim.WriteScheduleJSON(w, numQubits, trace)
+}
+
+// ReadScheduleJSON loads a schedule written by WriteScheduleJSON.
+func ReadScheduleJSON(r io.Reader) (numQubits int, trace []ScheduleOp, err error) {
+	return sim.ReadScheduleJSON(r)
+}
+
+// Baseline compilers (the paper's comparison points).
+type (
+	BaselineAlgorithm = baseline.Algorithm
+	BaselineOptions   = baseline.Options
+	BaselineResult    = baseline.Result
+)
+
+// Baseline algorithm identifiers.
+const (
+	BaselineMurali = baseline.Murali // ISCA 2020 greedy QCCD compiler [55]
+	BaselineDai    = baseline.Dai    // advanced shuttle strategies [13]
+	BaselineMQT    = baseline.MQT    // MQT dedicated-zone shuttling [70]
+)
+
+// CompileBaseline schedules a circuit onto a monolithic grid with one of
+// the baseline compilers.
+func CompileBaseline(algo BaselineAlgorithm, c *Circuit, g *Grid, opts BaselineOptions) (*BaselineResult, error) {
+	return baseline.Compile(algo, c, g, opts)
+}
+
+// Experiment harness: regenerate the paper's tables and figures.
+type ExperimentInfo = eval.Experiment
+
+// ExperimentList returns the paper's experiments in order, followed by the
+// extension studies (replacement-policy ablation, optical-port sweep).
+func ExperimentList() []ExperimentInfo { return eval.AllExperiments() }
+
+// RunExperiment runs one experiment by ID ("table2", "fig6"..."fig13") and
+// returns its rendered text.
+func RunExperiment(id string) (string, error) {
+	e, err := eval.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	return e.Run()
+}

@@ -1,0 +1,106 @@
+package mussti_test
+
+import (
+	"strings"
+	"testing"
+
+	"mussti"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	c := mussti.Benchmark("QFT_n32")
+	dev := mussti.NewDevice(mussti.DeviceConfigFor(c.NumQubits))
+	res, err := mussti.Compile(c, dev, mussti.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Gates2+res.Metrics.FiberGates == 0 {
+		t.Error("no gates executed")
+	}
+	if res.Metrics.Fidelity.Log10() >= 0 {
+		t.Error("fidelity not accumulated")
+	}
+}
+
+func TestPublicCircuitConstruction(t *testing.T) {
+	c := mussti.NewCircuit("bell", 2)
+	c.H(0)
+	c.CX(0, 1)
+	c.Measure(0)
+	c.Measure(1)
+	dev := mussti.NewDevice(mussti.DeviceConfigFor(2))
+	res, err := mussti.Compile(c, dev, mussti.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Gates2 != 1 {
+		t.Errorf("gates2 = %d, want 1", res.Metrics.Gates2)
+	}
+}
+
+func TestPublicQASM(t *testing.T) {
+	src := "qreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+	c, err := mussti.ParseQASM("bell", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 2 || len(c.Gates) != 2 {
+		t.Errorf("parsed %d qubits %d gates", c.NumQubits, len(c.Gates))
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	c := mussti.Benchmark("BV_n32")
+	g, err := mussti.NewGrid(2, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []mussti.BaselineAlgorithm{mussti.BaselineMurali, mussti.BaselineDai, mussti.BaselineMQT} {
+		res, err := mussti.CompileBaseline(algo, c, g, mussti.BaselineOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.Metrics.Gates2 == 0 {
+			t.Errorf("%v executed no gates", algo)
+		}
+	}
+}
+
+func TestPublicBenchmarkHelpers(t *testing.T) {
+	if len(mussti.BenchmarkFamilies()) != 14 {
+		t.Errorf("families = %v", mussti.BenchmarkFamilies())
+	}
+	if _, err := mussti.BenchmarkByName("GHZ_n8"); err != nil {
+		t.Error(err)
+	}
+	if _, err := mussti.BenchmarkByName("bogus"); err == nil {
+		t.Error("bogus benchmark accepted")
+	}
+}
+
+func TestPublicExperimentList(t *testing.T) {
+	exps := mussti.ExperimentList()
+	if len(exps) != 12 {
+		t.Fatalf("experiments = %d, want 12 (9 paper + 3 extensions)", len(exps))
+	}
+	if _, err := mussti.RunExperiment("does-not-exist"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestPublicPhysicsDefaults(t *testing.T) {
+	p := mussti.DefaultPhysics()
+	if p.FiberTimeUS != 200 || p.Gate2TimeUS != 40 {
+		t.Errorf("physics defaults off: %+v", p)
+	}
+}
+
+func TestPublicDeviceLevels(t *testing.T) {
+	dev := mussti.NewDevice(mussti.DeviceConfigFor(32))
+	if len(dev.OpticalZones()) == 0 {
+		t.Error("device has no optical zones")
+	}
+	if mussti.LevelOptical <= mussti.LevelStorage {
+		t.Error("level ordering broken")
+	}
+}
