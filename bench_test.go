@@ -9,6 +9,8 @@
 package mussti_test
 
 import (
+	"context"
+	"sync"
 	"testing"
 
 	"mussti"
@@ -74,6 +76,49 @@ func BenchmarkPorts(b *testing.B) { benchExperiment(b, "ports") }
 // BenchmarkRouting regenerates the routing look-ahead ablation (the
 // attraction term this implementation adds to the multi-level rule).
 func BenchmarkRouting(b *testing.B) { benchExperiment(b, "routing") }
+
+// suiteIDs is the multi-experiment bundle behind the suite benchmarks: the
+// three fastest experiments, together a few hundred independent
+// measurements.
+var suiteIDs = []string{"table2", "lru", "routing"}
+
+// BenchmarkSuiteSequential runs the bundle strictly sequentially — the
+// harness's behaviour before the concurrent runner existed (modulo the
+// benchmark-circuit cache, which both paths share).
+func BenchmarkSuiteSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, id := range suiteIDs {
+			if _, err := mussti.RunExperimentContext(context.Background(), id, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteParallel runs the same bundle with the experiments launched
+// concurrently over one shared GOMAXPROCS-sized runner, the cmd/experiments
+// all-mode configuration. Compare against BenchmarkSuiteSequential for the
+// wall-clock speedup; on a single-core machine the two coincide.
+func BenchmarkSuiteParallel(b *testing.B) {
+	r := mussti.NewRunner(0)
+	for i := 0; i < b.N; i++ {
+		errs := make([]error, len(suiteIDs))
+		var wg sync.WaitGroup
+		for j, id := range suiteIDs {
+			wg.Add(1)
+			go func(j int, id string) {
+				defer wg.Done()
+				_, errs[j] = mussti.RunExperimentContext(context.Background(), id, r)
+			}(j, id)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
 
 // BenchmarkCompileQFT32 measures the compiler itself on the densest small
 // benchmark (the unit of work behind every table cell).

@@ -1,15 +1,24 @@
 // Command experiments regenerates the tables and figures of the MUSS-TI
 // paper (MICRO 2025). Without flags it runs everything in paper order;
 // -exp selects one ("table2", "fig6", ... "fig13"), -list enumerates them.
+// Measurements fan out over a worker pool by default (-parallel=false for
+// strictly sequential runs, -j to pin the worker count); the worker count
+// never changes the rendered tables. fig10/fig11 report wall-clock compile
+// times, so their own measurements always run serially — for faithful
+// timing curves run them alone (-exp fig10) rather than in all mode, where
+// concurrent neighbour experiments still compete for CPU.
 //
 //	go run ./cmd/experiments -exp table2
-//	go run ./cmd/experiments                # full evaluation (minutes)
+//	go run ./cmd/experiments -j 4          # full evaluation
+//	go run ./cmd/experiments -parallel=false
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"mussti"
@@ -18,6 +27,8 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment ID to run (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	parallel := flag.Bool("parallel", true, "fan measurements (and, in all-experiments mode, whole experiments) out over a worker pool")
+	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -27,38 +38,87 @@ func main() {
 		return
 	}
 
-	run := func(e mussti.ExperimentInfo) error {
+	// Interrupt cancels the run between measurements: in-flight compiles
+	// finish, queued ones are skipped, and the failure surfaces per
+	// experiment. stop() runs as soon as the first signal lands so that a
+	// second interrupt regains default handling and kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	var runner *mussti.Runner
+	if *parallel {
+		runner = mussti.NewRunner(*jobs)
+	}
+
+	// run renders one experiment with its banner and timing footer.
+	run := func(e mussti.ExperimentInfo) (string, error) {
 		start := time.Now()
-		out, err := e.Run()
+		out, err := e.RunContext(ctx, runner)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			return "", fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Printf("== %s — %s ==\n\n%s(completed in %s)\n\n", e.ID, e.Description, out, time.Since(start).Round(time.Millisecond))
-		return nil
+		return fmt.Sprintf("== %s — %s ==\n\n%s(completed in %s)\n\n",
+			e.ID, e.Description, out, time.Since(start).Round(time.Millisecond)), nil
 	}
 
 	if *exp != "" {
-		found := false
 		for _, e := range mussti.ExperimentList() {
-			if e.ID == *exp {
-				found = true
-				if err := run(e); err != nil {
-					fmt.Fprintln(os.Stderr, "experiments:", err)
-					os.Exit(1)
-				}
+			if e.ID != *exp {
+				continue
 			}
+			out, err := run(e)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Print(out)
+			return
 		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; use -list\n", *exp)
-			os.Exit(2)
-		}
-		return
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
 	}
 
-	for _, e := range mussti.ExperimentList() {
-		if err := run(e); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+	// All-experiments mode: every experiment runs even when earlier ones
+	// fail; failures print as they surface and the process exits non-zero
+	// at the end. With a runner, experiments execute concurrently — their
+	// measurements share the runner's global worker budget — while output
+	// still prints in paper order.
+	exps := mussti.ExperimentList()
+	type result struct {
+		out string
+		err error
+	}
+	results := make([]chan result, len(exps))
+	for i, e := range exps {
+		results[i] = make(chan result, 1)
+		if runner == nil {
+			continue
 		}
+		go func(i int, e mussti.ExperimentInfo) {
+			out, err := run(e)
+			results[i] <- result{out, err}
+		}(i, e)
+	}
+	failed := 0
+	for i, e := range exps {
+		var res result
+		if runner == nil {
+			res.out, res.err = run(e)
+		} else {
+			res = <-results[i]
+		}
+		if res.err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", res.err)
+			failed++
+			continue
+		}
+		fmt.Print(res.out)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed\n", failed, len(exps))
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,3 @@
+module mussti
+
+go 1.24

@@ -52,10 +52,9 @@ func Families() []string {
 	return out
 }
 
-// ByName builds a benchmark from a "Family_nNN" identifier as used in the
-// paper's tables, e.g. "Adder_n32", "SQRT_n299", "RAN_n256". Family
-// matching is case-insensitive.
-func ByName(name string) (*circuit.Circuit, error) {
+// generate builds a benchmark from a "Family_nNN" identifier without
+// consulting the cache. ByName (cache.go) memoizes it.
+func generate(name string) (*circuit.Circuit, error) {
 	base := name
 	i := strings.LastIndex(name, "_n")
 	if i < 0 {

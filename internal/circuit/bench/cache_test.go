@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestByNameReturnsSharedInstance(t *testing.T) {
+	a := MustByName("GHZ_n32")
+	b := MustByName("GHZ_n32")
+	if a != b {
+		t.Error("ByName regenerated a cached circuit")
+	}
+}
+
+func TestByNameCacheKeyedByExactName(t *testing.T) {
+	// Family matching is case-insensitive but the circuit Name preserves
+	// the caller's spelling, so differently-spelled names must not share
+	// a cache entry.
+	a := MustByName("ghz_n32")
+	b := MustByName("GHZ_n32")
+	if a == b {
+		t.Fatal("case variants share one instance")
+	}
+	if a.Name != "ghz_n32" || b.Name != "GHZ_n32" {
+		t.Errorf("names = %q, %q", a.Name, b.Name)
+	}
+}
+
+func TestByNameConcurrent(t *testing.T) {
+	// Hammer one uncached name from many goroutines; -race verifies the
+	// cache, and the pointer check verifies exactly one instance survives.
+	const workers = 16
+	results := make([]any, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = MustByName("QAOA_n48")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("worker %d got a distinct instance", i)
+		}
+	}
+}

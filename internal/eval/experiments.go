@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,23 +19,50 @@ type Experiment struct {
 	ID string
 	// Description summarises what the paper shows there.
 	Description string
-	// Run executes the experiment and returns its rendered tables.
+	// Run executes the experiment sequentially and returns its rendered
+	// tables.
 	Run func() (string, error)
+	// Plan decomposes the experiment into independent measurement jobs for
+	// the concurrent runner; see RunContext.
+	Plan PlanFunc
+}
+
+// RunContext executes the experiment on the given runner (nil = sequential
+// on the calling goroutine), honouring ctx cancellation. Output is
+// byte-identical to Run at any worker count: jobs carry their paper-order
+// positions and the renderer consumes them in that order.
+func (e Experiment) RunContext(ctx context.Context, r *Runner) (string, error) {
+	if e.Plan == nil {
+		return e.Run()
+	}
+	p, err := e.Plan()
+	if err != nil {
+		return "", err
+	}
+	return p.Execute(ctx, r)
 }
 
 // Experiments lists every experiment in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"table2", "Small-scale comparison on Grid 2x2 (cap 12) and 2x3 (cap 8): shuttles, time, fidelity", Table2},
-		{"fig6", "Architectural comparison small/medium/large: shuttles, time, fidelity",
-			func() (string, error) { return Fig6() }},
-		{"fig7", "Trap capacity sweep (12-20) vs fidelity, medium apps + SQRT_n299", Fig7},
-		{"fig8", "Ablation of compilation techniques (Trivial/SWAP/SABRE/SABRE+SWAP)", Fig8},
-		{"fig9", "Look-ahead window k sweep (4-12) vs fidelity", Fig9},
-		{"fig10", "Compilation-time scalability vs application size", Fig10},
-		{"fig11", "Compilation time vs fidelity trade-off per technique", Fig11},
-		{"fig12", "One vs two entanglement (optical) zones, large apps", Fig12},
-		{"fig13", "Optimality analysis: perfect gate / perfect shuttle / MUSS-TI", Fig13},
+		{ID: "table2", Description: "Small-scale comparison on Grid 2x2 (cap 12) and 2x3 (cap 8): shuttles, time, fidelity",
+			Run: Table2, Plan: table2Plan},
+		{ID: "fig6", Description: "Architectural comparison small/medium/large: shuttles, time, fidelity",
+			Run: func() (string, error) { return Fig6() }, Plan: func() (*Plan, error) { return fig6Plan("") }},
+		{ID: "fig7", Description: "Trap capacity sweep (12-20) vs fidelity, medium apps + SQRT_n299",
+			Run: Fig7, Plan: fig7Plan},
+		{ID: "fig8", Description: "Ablation of compilation techniques (Trivial/SWAP/SABRE/SABRE+SWAP)",
+			Run: Fig8, Plan: fig8Plan},
+		{ID: "fig9", Description: "Look-ahead window k sweep (4-12) vs fidelity",
+			Run: Fig9, Plan: fig9Plan},
+		{ID: "fig10", Description: "Compilation-time scalability vs application size",
+			Run: Fig10, Plan: fig10Plan},
+		{ID: "fig11", Description: "Compilation time vs fidelity trade-off per technique",
+			Run: Fig11, Plan: fig11Plan},
+		{ID: "fig12", Description: "One vs two entanglement (optical) zones, large apps",
+			Run: Fig12, Plan: fig12Plan},
+		{ID: "fig13", Description: "Optimality analysis: perfect gate / perfect shuttle / MUSS-TI",
+			Run: Fig13, Plan: fig13Plan},
 	}
 }
 
@@ -68,60 +96,60 @@ var table2Structures = []struct {
 	{"Grid 2x3", 2, 3, 8},
 }
 
+// table2Compilers are the baseline columns of Table 2 in paper order;
+// MUSS-TI is the fourth column.
+var table2Compilers = []baseline.Algorithm{baseline.Murali, baseline.Dai, baseline.MQT}
+
 // Table2 regenerates Table 2: the small-scale suite on both structures for
 // all four compilers (Murali [55], Dai [13], MQT [70], MUSS-TI).
-func Table2() (string, error) {
-	var out strings.Builder
-	for _, st := range table2Structures {
-		tb := NewTable(
-			fmt.Sprintf("Table 2 — %s (trap capacity %d)", st.Name, st.Capacity),
-			"Application",
-			"Shut[55]", "Shut[13]", "Shut[70]", "ShutOurs",
-			"Time[55]", "Time[13]", "Time[70]", "TimeOurs",
-			"Fid[55]", "Fid[13]", "Fid[70]", "FidOurs",
-		)
-		for _, app := range bench.SmallSuite() {
-			row, err := table2Row(app, st.Rows, st.Cols, st.Capacity)
-			if err != nil {
-				return "", err
-			}
-			tb.Add(row...)
-		}
-		out.WriteString(tb.String())
-		out.WriteByte('\n')
-	}
-	return out.String(), nil
-}
+func Table2() (string, error) { return runPlan(table2Plan) }
 
-func table2Row(app string, rows, cols, capacity int) ([]any, error) {
-	var ms []Measurement
-	for _, algo := range []baseline.Algorithm{baseline.Murali, baseline.Dai, baseline.MQT} {
-		m, err := RunBaseline(BaselineSpec{App: app, Algorithm: algo, Rows: rows, Cols: cols, Capacity: capacity})
-		if err != nil {
-			return nil, err
+func table2Plan() (*Plan, error) {
+	var jobs []Job
+	for _, st := range table2Structures {
+		for _, app := range bench.SmallSuite() {
+			for _, algo := range table2Compilers {
+				jobs = append(jobs, Job{Baseline: &BaselineSpec{
+					App: app, Algorithm: algo, Rows: st.Rows, Cols: st.Cols, Capacity: st.Capacity,
+				}})
+			}
+			jobs = append(jobs, Job{Mussti: &MusstiSpec{
+				App:  app,
+				Grid: arch.MustNewGrid(st.Rows, st.Cols, st.Capacity),
+				Opts: core.DefaultOptions(),
+			}})
 		}
-		ms = append(ms, m)
 	}
-	ours, err := RunMussti(MusstiSpec{
-		App:  app,
-		Grid: arch.MustNewGrid(rows, cols, capacity),
-		Opts: core.DefaultOptions(),
-	})
-	if err != nil {
-		return nil, err
+	render := func(res *Results) (string, error) {
+		var out strings.Builder
+		for _, st := range table2Structures {
+			tb := NewTable(
+				fmt.Sprintf("Table 2 — %s (trap capacity %d)", st.Name, st.Capacity),
+				"Application",
+				"Shut[55]", "Shut[13]", "Shut[70]", "ShutOurs",
+				"Time[55]", "Time[13]", "Time[70]", "TimeOurs",
+				"Fid[55]", "Fid[13]", "Fid[70]", "FidOurs",
+			)
+			for _, app := range bench.SmallSuite() {
+				ms := res.Take(len(table2Compilers) + 1)
+				row := []any{app}
+				for _, m := range ms {
+					row = append(row, m.Shuttles)
+				}
+				for _, m := range ms {
+					row = append(row, fmt.Sprintf("%.0f", m.TimeUS))
+				}
+				for _, m := range ms {
+					row = append(row, FormatLog10F(m.Log10F))
+				}
+				tb.Add(row...)
+			}
+			out.WriteString(tb.String())
+			out.WriteByte('\n')
+		}
+		return out.String(), nil
 	}
-	ms = append(ms, ours)
-	row := []any{app}
-	for _, m := range ms {
-		row = append(row, m.Shuttles)
-	}
-	for _, m := range ms {
-		row = append(row, fmt.Sprintf("%.0f", m.TimeUS))
-	}
-	for _, m := range ms {
-		row = append(row, FormatLog10F(m.Log10F))
-	}
-	return row, nil
+	return &Plan{Jobs: jobs, Render: render}, nil
 }
 
 // fig6Scales are the three architectural-comparison scales of Fig. 6.
@@ -144,77 +172,103 @@ var fig6Scales = []struct {
 // count, execution time and fidelity for MUSS-TI vs the Dai and Murali grid
 // compilers.
 func Fig6(scaleFilter ...string) (string, error) {
-	var out strings.Builder
+	filter := ""
+	if len(scaleFilter) > 0 {
+		filter = scaleFilter[0]
+	}
+	return runPlan(func() (*Plan, error) { return fig6Plan(filter) })
+}
+
+func fig6Plan(filter string) (*Plan, error) {
+	scales := fig6Scales[:0:0]
 	for _, sc := range fig6Scales {
-		if len(scaleFilter) > 0 && scaleFilter[0] != "" && !strings.Contains(strings.ToLower(sc.Name), strings.ToLower(scaleFilter[0])) {
+		if filter != "" && !strings.Contains(strings.ToLower(sc.Name), strings.ToLower(filter)) {
 			continue
 		}
-		tb := NewTable(
-			fmt.Sprintf("Fig 6 — %s (grid cap %d)", sc.Name, sc.Capacity),
-			"Application",
-			"Shut(ours)", "Shut(Dai)", "Shut(Murali)",
-			"Time(ours)", "Time(Dai)", "Time(Murali)",
-			"Fid(ours)", "Fid(Dai)", "Fid(Murali)",
-		)
-		var reduction []float64
+		scales = append(scales, sc)
+	}
+	var jobs []Job
+	for _, sc := range scales {
 		for _, app := range sc.Apps {
 			spec := MusstiSpec{App: app, Opts: core.DefaultOptions()}
 			if sc.OursOnGrid {
 				spec.Grid = arch.MustNewGrid(sc.Rows, sc.Cols, sc.Capacity)
 			}
-			ours, err := RunMussti(spec)
-			if err != nil {
-				return "", err
-			}
-			dai, err := RunBaseline(BaselineSpec{App: app, Algorithm: baseline.Dai, Rows: sc.Rows, Cols: sc.Cols, Capacity: sc.Capacity})
-			if err != nil {
-				return "", err
-			}
-			murali, err := RunBaseline(BaselineSpec{App: app, Algorithm: baseline.Murali, Rows: sc.Rows, Cols: sc.Cols, Capacity: sc.Capacity})
-			if err != nil {
-				return "", err
-			}
-			tb.Add(app,
-				ours.Shuttles, dai.Shuttles, murali.Shuttles,
-				fmt.Sprintf("%.0f", ours.TimeUS), fmt.Sprintf("%.0f", dai.TimeUS), fmt.Sprintf("%.0f", murali.TimeUS),
-				FormatLog10F(ours.Log10F), FormatLog10F(dai.Log10F), FormatLog10F(murali.Log10F),
-			)
-			best := dai.Shuttles
-			if murali.Shuttles < best {
-				best = murali.Shuttles
-			}
-			if best > 0 {
-				reduction = append(reduction, 100*(1-float64(ours.Shuttles)/float64(best)))
+			ours := spec
+			jobs = append(jobs, Job{Mussti: &ours})
+			for _, algo := range []baseline.Algorithm{baseline.Dai, baseline.Murali} {
+				jobs = append(jobs, Job{Baseline: &BaselineSpec{
+					App: app, Algorithm: algo, Rows: sc.Rows, Cols: sc.Cols, Capacity: sc.Capacity,
+				}})
 			}
 		}
-		out.WriteString(tb.String())
-		fmt.Fprintf(&out, "average shuttle reduction vs best baseline: %.2f%%\n\n", mean(reduction))
 	}
-	return out.String(), nil
+	render := func(res *Results) (string, error) {
+		var out strings.Builder
+		for _, sc := range scales {
+			tb := NewTable(
+				fmt.Sprintf("Fig 6 — %s (grid cap %d)", sc.Name, sc.Capacity),
+				"Application",
+				"Shut(ours)", "Shut(Dai)", "Shut(Murali)",
+				"Time(ours)", "Time(Dai)", "Time(Murali)",
+				"Fid(ours)", "Fid(Dai)", "Fid(Murali)",
+			)
+			var reduction []float64
+			for _, app := range sc.Apps {
+				ours, dai, murali := res.Next(), res.Next(), res.Next()
+				tb.Add(app,
+					ours.Shuttles, dai.Shuttles, murali.Shuttles,
+					fmt.Sprintf("%.0f", ours.TimeUS), fmt.Sprintf("%.0f", dai.TimeUS), fmt.Sprintf("%.0f", murali.TimeUS),
+					FormatLog10F(ours.Log10F), FormatLog10F(dai.Log10F), FormatLog10F(murali.Log10F),
+				)
+				best := dai.Shuttles
+				if murali.Shuttles < best {
+					best = murali.Shuttles
+				}
+				if best > 0 {
+					reduction = append(reduction, 100*(1-float64(ours.Shuttles)/float64(best)))
+				}
+			}
+			out.WriteString(tb.String())
+			fmt.Fprintf(&out, "average shuttle reduction vs best baseline: %.2f%%\n\n", mean(reduction))
+		}
+		return out.String(), nil
+	}
+	return &Plan{Jobs: jobs, Render: render}, nil
 }
 
 // Fig7 regenerates the trap-capacity analysis: MUSS-TI fidelity for
 // capacities 12..20 on the medium apps and SQRT_n299.
-func Fig7() (string, error) {
+func Fig7() (string, error) { return runPlan(fig7Plan) }
+
+func fig7Plan() (*Plan, error) {
 	apps := []string{"Adder_n128", "BV_n128", "GHZ_n128", "QAOA_n128", "SQRT_n299"}
 	caps := []int{12, 14, 16, 18, 20}
-	tb := NewTable("Fig 7 — EML-QCCD trap capacity vs fidelity (MUSS-TI)",
-		append([]string{"Application"}, intsToHeaders("cap=", caps)...)...)
+	var jobs []Job
 	for _, app := range apps {
-		row := []any{app}
-		c := bench.MustByName(app)
+		c, err := bench.ByName(app)
+		if err != nil {
+			return nil, err
+		}
 		for _, capacity := range caps {
 			cfg := arch.DefaultConfig(c.NumQubits)
 			cfg.TrapCapacity = capacity
-			m, err := RunMussti(MusstiSpec{App: app, Config: cfg, Opts: core.DefaultOptions()})
-			if err != nil {
-				return "", err
-			}
-			row = append(row, FormatLog10F(m.Log10F))
+			jobs = append(jobs, Job{Mussti: &MusstiSpec{App: app, Config: cfg, Opts: core.DefaultOptions()}})
 		}
-		tb.Add(row...)
 	}
-	return tb.String(), nil
+	render := func(res *Results) (string, error) {
+		tb := NewTable("Fig 7 — EML-QCCD trap capacity vs fidelity (MUSS-TI)",
+			append([]string{"Application"}, intsToHeaders("cap=", caps)...)...)
+		for _, app := range apps {
+			row := []any{app}
+			for range caps {
+				row = append(row, FormatLog10F(res.Next().Log10F))
+			}
+			tb.Add(row...)
+		}
+		return tb.String(), nil
+	}
+	return &Plan{Jobs: jobs, Render: render}, nil
 }
 
 // ablationConfigs are the four Fig. 8 / Fig. 11 technique combinations.
@@ -230,138 +284,192 @@ var ablationConfigs = []struct {
 
 // Fig8 regenerates the compilation-technique ablation over the medium and
 // large suites.
-func Fig8() (string, error) {
+func Fig8() (string, error) { return runPlan(fig8Plan) }
+
+func fig8Plan() (*Plan, error) {
 	apps := append(append([]string{}, bench.MediumSuite()...), bench.LargeSuite()...)
-	header := []string{"Application"}
-	for _, cfg := range ablationConfigs {
-		header = append(header, cfg.Name)
-	}
-	tb := NewTable("Fig 8 — ablation of compilation techniques (fidelity)", header...)
+	var jobs []Job
 	for _, app := range apps {
-		row := []any{app}
 		for _, cfg := range ablationConfigs {
-			m, err := RunMussti(MusstiSpec{App: app, Opts: cfg.Opts})
-			if err != nil {
-				return "", err
-			}
-			row = append(row, FormatLog10F(m.Log10F))
+			jobs = append(jobs, Job{Mussti: &MusstiSpec{App: app, Opts: cfg.Opts}})
 		}
-		tb.Add(row...)
 	}
-	return tb.String(), nil
+	render := func(res *Results) (string, error) {
+		header := []string{"Application"}
+		for _, cfg := range ablationConfigs {
+			header = append(header, cfg.Name)
+		}
+		tb := NewTable("Fig 8 — ablation of compilation techniques (fidelity)", header...)
+		for _, app := range apps {
+			row := []any{app}
+			for range ablationConfigs {
+				row = append(row, FormatLog10F(res.Next().Log10F))
+			}
+			tb.Add(row...)
+		}
+		return tb.String(), nil
+	}
+	return &Plan{Jobs: jobs, Render: render}, nil
 }
 
 // Fig9 regenerates the look-ahead analysis: fidelity for k in {4..12} on
 // the five applications of the paper's Fig. 9.
-func Fig9() (string, error) {
+func Fig9() (string, error) { return runPlan(fig9Plan) }
+
+func fig9Plan() (*Plan, error) {
 	apps := []string{"QAOA_n256", "Adder_n256", "RAN_n256", "SQRT_n117", "SQRT_n299"}
 	ks := []int{4, 6, 8, 10, 12}
-	tb := NewTable("Fig 9 — look-ahead window k vs fidelity (MUSS-TI)",
-		append([]string{"Application"}, intsToHeaders("k=", ks)...)...)
+	var jobs []Job
 	for _, app := range apps {
-		row := []any{app}
 		for _, k := range ks {
 			opts := core.DefaultOptions()
 			opts.LookAhead = k
-			m, err := RunMussti(MusstiSpec{App: app, Opts: opts})
-			if err != nil {
-				return "", err
-			}
-			row = append(row, FormatLog10F(m.Log10F))
+			jobs = append(jobs, Job{Mussti: &MusstiSpec{App: app, Opts: opts}})
 		}
-		tb.Add(row...)
 	}
-	return tb.String(), nil
+	render := func(res *Results) (string, error) {
+		tb := NewTable("Fig 9 — look-ahead window k vs fidelity (MUSS-TI)",
+			append([]string{"Application"}, intsToHeaders("k=", ks)...)...)
+		for _, app := range apps {
+			row := []any{app}
+			for range ks {
+				row = append(row, FormatLog10F(res.Next().Log10F))
+			}
+			tb.Add(row...)
+		}
+		return tb.String(), nil
+	}
+	return &Plan{Jobs: jobs, Render: render}, nil
 }
 
 // Fig10 regenerates the compilation-time scalability curve: wall-clock
 // MUSS-TI compile time for Adder/BV/GHZ/QAOA from ~128 to ~300 qubits.
-func Fig10() (string, error) {
+func Fig10() (string, error) { return runPlan(fig10Plan) }
+
+func fig10Plan() (*Plan, error) {
 	families := []string{"Adder", "BV", "GHZ", "QAOA"}
 	sizes := []int{128, 160, 192, 224, 256, 288, 300}
-	tb := NewTable("Fig 10 — compilation time (s) vs application size",
-		append([]string{"Family"}, intsToHeaders("n=", sizes)...)...)
+	var jobs []Job
 	for _, fam := range families {
-		row := []any{fam}
 		for _, n := range sizes {
 			app := fmt.Sprintf("%s_n%d", fam, n)
-			m, err := RunMussti(MusstiSpec{App: app, Opts: core.DefaultOptions()})
-			if err != nil {
-				return "", err
-			}
-			row = append(row, fmt.Sprintf("%.3f", m.CompileTime.Seconds()))
+			jobs = append(jobs, Job{Mussti: &MusstiSpec{App: app, Opts: core.DefaultOptions()}})
 		}
-		tb.Add(row...)
 	}
-	return tb.String(), nil
+	render := func(res *Results) (string, error) {
+		tb := NewTable("Fig 10 — compilation time (s) vs application size",
+			append([]string{"Family"}, intsToHeaders("n=", sizes)...)...)
+		for _, fam := range families {
+			row := []any{fam}
+			for range sizes {
+				row = append(row, fmt.Sprintf("%.3f", res.Next().CompileTime.Seconds()))
+			}
+			tb.Add(row...)
+		}
+		return tb.String(), nil
+	}
+	// Serial: the cells ARE wall-clock compile times; pool neighbours
+	// would contend for CPU and inflate them.
+	return &Plan{Jobs: jobs, Render: render, Serial: true}, nil
 }
 
 // Fig11 regenerates the compile-time/fidelity trade-off scatter for the
 // complex (SQRT_n128) and simple (BV_n128) applications.
-func Fig11() (string, error) {
+func Fig11() (string, error) { return runPlan(fig11Plan) }
+
+func fig11Plan() (*Plan, error) {
 	apps := []string{"SQRT_n128", "BV_n128"}
-	var out strings.Builder
+	var jobs []Job
 	for _, app := range apps {
-		tb := NewTable(fmt.Sprintf("Fig 11 — %s: compilation time vs fidelity", app),
-			"Technique", "CompileTime(s)", "Fidelity")
 		for _, cfg := range ablationConfigs {
-			m, err := RunMussti(MusstiSpec{App: app, Opts: cfg.Opts})
-			if err != nil {
-				return "", err
-			}
-			tb.Add(cfg.Name, fmt.Sprintf("%.3f", m.CompileTime.Seconds()), FormatLog10F(m.Log10F))
+			jobs = append(jobs, Job{Mussti: &MusstiSpec{App: app, Opts: cfg.Opts}})
 		}
-		out.WriteString(tb.String())
-		out.WriteByte('\n')
 	}
-	return out.String(), nil
+	render := func(res *Results) (string, error) {
+		var out strings.Builder
+		for _, app := range apps {
+			tb := NewTable(fmt.Sprintf("Fig 11 — %s: compilation time vs fidelity", app),
+				"Technique", "CompileTime(s)", "Fidelity")
+			for _, cfg := range ablationConfigs {
+				m := res.Next()
+				tb.Add(cfg.Name, fmt.Sprintf("%.3f", m.CompileTime.Seconds()), FormatLog10F(m.Log10F))
+			}
+			out.WriteString(tb.String())
+			out.WriteByte('\n')
+		}
+		return out.String(), nil
+	}
+	// Serial for the same reason as fig10: CompileTime cells must not be
+	// distorted by pool contention.
+	return &Plan{Jobs: jobs, Render: render, Serial: true}, nil
 }
 
 // Fig12 regenerates the multiple-entanglement-zone analysis: large apps
 // with one vs two optical zones per module.
-func Fig12() (string, error) {
-	tb := NewTable("Fig 12 — one vs two entanglement zones (fidelity, MUSS-TI)",
-		"Application", "SingleZone", "TwoZones")
+func Fig12() (string, error) { return runPlan(fig12Plan) }
+
+func fig12Plan() (*Plan, error) {
+	zones := []int{1, 2}
+	var jobs []Job
 	for _, app := range bench.LargeSuite() {
-		c := bench.MustByName(app)
-		row := []any{app}
-		for _, zones := range []int{1, 2} {
-			cfg := arch.DefaultConfig(c.NumQubits)
-			cfg.OpticalZones = zones
-			m, err := RunMussti(MusstiSpec{App: app, Config: cfg, Opts: core.DefaultOptions()})
-			if err != nil {
-				return "", err
-			}
-			row = append(row, FormatLog10F(m.Log10F))
+		c, err := bench.ByName(app)
+		if err != nil {
+			return nil, err
 		}
-		tb.Add(row...)
+		for _, z := range zones {
+			cfg := arch.DefaultConfig(c.NumQubits)
+			cfg.OpticalZones = z
+			jobs = append(jobs, Job{Mussti: &MusstiSpec{App: app, Config: cfg, Opts: core.DefaultOptions()}})
+		}
 	}
-	return tb.String(), nil
+	render := func(res *Results) (string, error) {
+		tb := NewTable("Fig 12 — one vs two entanglement zones (fidelity, MUSS-TI)",
+			"Application", "SingleZone", "TwoZones")
+		for _, app := range bench.LargeSuite() {
+			row := []any{app}
+			for range zones {
+				row = append(row, FormatLog10F(res.Next().Log10F))
+			}
+			tb.Add(row...)
+		}
+		return tb.String(), nil
+	}
+	return &Plan{Jobs: jobs, Render: render}, nil
 }
+
+// fig13Modes are the idealisation switches of Fig. 13 in column order.
+var fig13Modes = []struct{ gates, shuttle bool }{{true, false}, {false, true}, {false, false}}
 
 // Fig13 regenerates the optimality analysis: MUSS-TI under Table-1 physics
 // vs the perfect-gate and perfect-shuttle idealisations.
-func Fig13() (string, error) {
+func Fig13() (string, error) { return runPlan(fig13Plan) }
+
+func fig13Plan() (*Plan, error) {
 	apps := []string{
 		"Adder_n128", "BV_n128", "GHZ_n128", "QAOA_n128", "SQRT_n117",
 		"Adder_n298", "BV_n298", "GHZ_n298", "QAOA_n298", "SQRT_n299",
 	}
-	tb := NewTable("Fig 13 — optimality analysis (fidelity)",
-		"Application", "PerfectGate", "PerfectShuttle", "MUSS-TI")
+	var jobs []Job
 	for _, app := range apps {
-		row := []any{app}
-		for _, mode := range []struct{ gates, shuttle bool }{{true, false}, {false, true}, {false, false}} {
+		for _, mode := range fig13Modes {
 			opts := core.DefaultOptions()
 			opts.Params = idealParams(mode.gates, mode.shuttle)
-			m, err := RunMussti(MusstiSpec{App: app, Opts: opts})
-			if err != nil {
-				return "", err
-			}
-			row = append(row, FormatLog10F(m.Log10F))
+			jobs = append(jobs, Job{Mussti: &MusstiSpec{App: app, Opts: opts}})
 		}
-		tb.Add(row...)
 	}
-	return tb.String(), nil
+	render := func(res *Results) (string, error) {
+		tb := NewTable("Fig 13 — optimality analysis (fidelity)",
+			"Application", "PerfectGate", "PerfectShuttle", "MUSS-TI")
+		for _, app := range apps {
+			row := []any{app}
+			for range fig13Modes {
+				row = append(row, FormatLog10F(res.Next().Log10F))
+			}
+			tb.Add(row...)
+		}
+		return tb.String(), nil
+	}
+	return &Plan{Jobs: jobs, Render: render}, nil
 }
 
 func intsToHeaders(prefix string, xs []int) []string {

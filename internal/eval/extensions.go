@@ -20,107 +20,139 @@ import (
 //     zones (2..16 ports).
 func init() {
 	extensions = []Experiment{
-		{"lru", "Extension: replacement-policy ablation (LRU vs FIFO/random/Belady)", LRUAblation},
-		{"ports", "Extension: optical-port-limit sweep (2..16 ports per module)", PortSweep},
-		{"routing", "Extension: routing look-ahead attraction on/off", RoutingAblation},
+		{ID: "lru", Description: "Extension: replacement-policy ablation (LRU vs FIFO/random/Belady)",
+			Run: LRUAblation, Plan: lruPlan},
+		{ID: "ports", Description: "Extension: optical-port-limit sweep (2..16 ports per module)",
+			Run: PortSweep, Plan: portsPlan},
+		{ID: "routing", Description: "Extension: routing look-ahead attraction on/off",
+			Run: RoutingAblation, Plan: routingPlan},
 	}
 }
 
 var extensions []Experiment
 
+// lruPolicies are the conflict-handling policies under comparison, in
+// column order.
+var lruPolicies = []core.ReplacementPolicy{
+	core.ReplaceLRU, core.ReplaceFIFO, core.ReplaceRandom, core.ReplaceBelady,
+}
+
 // LRUAblation compares the conflict-handling policies on the medium suite,
 // reporting shuttles — the metric replacement directly controls.
-func LRUAblation() (string, error) {
-	policies := []core.ReplacementPolicy{
-		core.ReplaceLRU, core.ReplaceFIFO, core.ReplaceRandom, core.ReplaceBelady,
-	}
-	header := []string{"Application"}
-	for _, p := range policies {
-		header = append(header, "shut("+p.String()+")")
-	}
-	tb := NewTable("LRU ablation — shuttle count by replacement policy (MUSS-TI, trivial mapping)", header...)
-	var lruExcess []float64
+func LRUAblation() (string, error) { return runPlan(lruPlan) }
+
+func lruPlan() (*Plan, error) {
+	var jobs []Job
 	for _, app := range bench.MediumSuite() {
-		row := []any{app}
-		shuttles := make(map[core.ReplacementPolicy]int, len(policies))
-		for _, pol := range policies {
-			opts := core.Options{Mapping: core.MappingTrivial, Replacement: pol}
-			m, err := RunMussti(MusstiSpec{App: app, Opts: opts})
-			if err != nil {
-				return "", err
-			}
-			shuttles[pol] = m.Shuttles
-			row = append(row, m.Shuttles)
-		}
-		tb.Add(row...)
-		if b := shuttles[core.ReplaceBelady]; b > 0 {
-			lruExcess = append(lruExcess, 100*(float64(shuttles[core.ReplaceLRU])/float64(b)-1))
+		for _, pol := range lruPolicies {
+			jobs = append(jobs, Job{Mussti: &MusstiSpec{
+				App:  app,
+				Opts: core.Options{Mapping: core.MappingTrivial, Replacement: pol},
+			}})
 		}
 	}
-	var out strings.Builder
-	out.WriteString(tb.String())
-	fmt.Fprintf(&out, "LRU excess over clairvoyant Belady: %.1f%% (the paper's \"near-optimal\" claim)\n", mean(lruExcess))
-	return out.String(), nil
+	render := func(res *Results) (string, error) {
+		header := []string{"Application"}
+		for _, p := range lruPolicies {
+			header = append(header, "shut("+p.String()+")")
+		}
+		tb := NewTable("LRU ablation — shuttle count by replacement policy (MUSS-TI, trivial mapping)", header...)
+		var lruExcess []float64
+		for _, app := range bench.MediumSuite() {
+			row := []any{app}
+			shuttles := make(map[core.ReplacementPolicy]int, len(lruPolicies))
+			for _, pol := range lruPolicies {
+				m := res.Next()
+				shuttles[pol] = m.Shuttles
+				row = append(row, m.Shuttles)
+			}
+			tb.Add(row...)
+			if b := shuttles[core.ReplaceBelady]; b > 0 {
+				lruExcess = append(lruExcess, 100*(float64(shuttles[core.ReplaceLRU])/float64(b)-1))
+			}
+		}
+		var out strings.Builder
+		out.WriteString(tb.String())
+		fmt.Fprintf(&out, "LRU excess over clairvoyant Belady: %.1f%% (the paper's \"near-optimal\" claim)\n", mean(lruExcess))
+		return out.String(), nil
+	}
+	return &Plan{Jobs: jobs, Render: render}, nil
 }
 
 // RoutingAblation compares zone selection with and without the look-ahead
 // attraction term on the small and medium suites (grid and EML): the term
 // is this implementation's refinement of the paper's multi-level rule, so
 // its contribution is measured rather than assumed.
-func RoutingAblation() (string, error) {
+func RoutingAblation() (string, error) { return runPlan(routingPlan) }
+
+func routingPlan() (*Plan, error) {
 	apps := append(append([]string{}, bench.SmallSuite()...), bench.MediumSuite()...)
-	tb := NewTable("Routing look-ahead ablation — shuttles with/without attraction (MUSS-TI)",
-		"Application", "with", "without", "delta%")
+	var jobs []Job
 	for _, app := range apps {
 		with := core.DefaultOptions()
 		without := core.DefaultOptions()
 		without.DisableRoutingLookAhead = true
-		mW, err := RunMussti(MusstiSpec{App: app, Opts: with})
-		if err != nil {
-			return "", err
-		}
-		mWo, err := RunMussti(MusstiSpec{App: app, Opts: without})
-		if err != nil {
-			return "", err
-		}
-		delta := 0.0
-		if mWo.Shuttles > 0 {
-			delta = 100 * (float64(mWo.Shuttles) - float64(mW.Shuttles)) / float64(mWo.Shuttles)
-		}
-		tb.Add(app, mW.Shuttles, mWo.Shuttles, fmt.Sprintf("%.1f", delta))
+		jobs = append(jobs,
+			Job{Mussti: &MusstiSpec{App: app, Opts: with}},
+			Job{Mussti: &MusstiSpec{App: app, Opts: without}},
+		)
 	}
-	return tb.String(), nil
+	render := func(res *Results) (string, error) {
+		tb := NewTable("Routing look-ahead ablation — shuttles with/without attraction (MUSS-TI)",
+			"Application", "with", "without", "delta%")
+		for _, app := range apps {
+			mW, mWo := res.Next(), res.Next()
+			delta := 0.0
+			if mWo.Shuttles > 0 {
+				delta = 100 * (float64(mWo.Shuttles) - float64(mW.Shuttles)) / float64(mWo.Shuttles)
+			}
+			tb.Add(app, mW.Shuttles, mWo.Shuttles, fmt.Sprintf("%.1f", delta))
+		}
+		return tb.String(), nil
+	}
+	return &Plan{Jobs: jobs, Render: render}, nil
 }
 
 // PortSweep measures the cost of limiting the optical zone to a fixed
 // number of ion-photon ports on the medium suite.
-func PortSweep() (string, error) {
+func PortSweep() (string, error) { return runPlan(portsPlan) }
+
+func portsPlan() (*Plan, error) {
 	ports := []int{2, 4, 8, 16}
-	header := []string{"Application"}
-	for _, p := range ports {
-		header = append(header, fmt.Sprintf("fid(p=%d)", p))
-	}
-	for _, p := range ports {
-		header = append(header, fmt.Sprintf("shut(p=%d)", p))
-	}
-	tb := NewTable("Optical-port sweep — fidelity and shuttles vs ports per module (MUSS-TI)", header...)
+	var jobs []Job
 	for _, app := range bench.MediumSuite() {
-		c := bench.MustByName(app)
-		fids := make([]any, 0, len(ports))
-		shuts := make([]any, 0, len(ports))
+		c, err := bench.ByName(app)
+		if err != nil {
+			return nil, err
+		}
 		for _, p := range ports {
 			cfg := arch.DefaultConfig(c.NumQubits)
 			cfg.OpticalCapacity = p
-			m, err := RunMussti(MusstiSpec{App: app, Config: cfg, Opts: core.DefaultOptions()})
-			if err != nil {
-				return "", err
-			}
-			fids = append(fids, FormatLog10F(m.Log10F))
-			shuts = append(shuts, m.Shuttles)
+			jobs = append(jobs, Job{Mussti: &MusstiSpec{App: app, Config: cfg, Opts: core.DefaultOptions()}})
 		}
-		row := append([]any{app}, fids...)
-		row = append(row, shuts...)
-		tb.Add(row...)
 	}
-	return tb.String(), nil
+	render := func(res *Results) (string, error) {
+		header := []string{"Application"}
+		for _, p := range ports {
+			header = append(header, fmt.Sprintf("fid(p=%d)", p))
+		}
+		for _, p := range ports {
+			header = append(header, fmt.Sprintf("shut(p=%d)", p))
+		}
+		tb := NewTable("Optical-port sweep — fidelity and shuttles vs ports per module (MUSS-TI)", header...)
+		for _, app := range bench.MediumSuite() {
+			fids := make([]any, 0, len(ports))
+			shuts := make([]any, 0, len(ports))
+			for range ports {
+				m := res.Next()
+				fids = append(fids, FormatLog10F(m.Log10F))
+				shuts = append(shuts, m.Shuttles)
+			}
+			row := append([]any{app}, fids...)
+			row = append(row, shuts...)
+			tb.Add(row...)
+		}
+		return tb.String(), nil
+	}
+	return &Plan{Jobs: jobs, Render: render}, nil
 }

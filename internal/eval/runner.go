@@ -1,0 +1,233 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the concurrent measurement runner. Every experiment in this
+// package is a fixed set of independent (application, compiler, device)
+// measurements followed by pure formatting, so each one decomposes into a
+// Plan: an ordered job list plus a renderer over the ordered results. Jobs
+// fan out over a bounded worker pool; results keep their enqueue positions,
+// so the renderer consumes them in exactly the order the old sequential
+// loops produced them and the rendered tables are byte-identical to the
+// sequential output at any worker count.
+
+// Job is one independent measurement: exactly one of Mussti or Baseline is
+// set. Jobs share no mutable state, so any number may run concurrently.
+type Job struct {
+	Mussti   *MusstiSpec
+	Baseline *BaselineSpec
+}
+
+// run executes the measurement this job describes.
+func (j Job) run() (Measurement, error) {
+	switch {
+	case j.Mussti != nil:
+		return RunMussti(*j.Mussti)
+	case j.Baseline != nil:
+		return RunBaseline(*j.Baseline)
+	default:
+		return Measurement{}, fmt.Errorf("eval: empty job")
+	}
+}
+
+// Plan is a decomposed experiment: the measurement jobs in deterministic
+// paper order, and a renderer that turns the ordered results into the
+// experiment's text output.
+type Plan struct {
+	Jobs []Job
+	// Render formats the results. Results arrive in job order regardless
+	// of execution order; Render must not depend on wall-clock effects.
+	Render func(res *Results) (string, error)
+	// Serial forces sequential in-place execution even when a Runner is
+	// supplied. Set it on experiments whose rendered cells are wall-clock
+	// measurements (Fig. 10/11 print CompileTime): concurrent neighbours
+	// would contend for CPU and distort the numbers being reported.
+	Serial bool
+}
+
+// PlanFunc builds an experiment's plan. Building is cheap (no compilation
+// happens until the jobs run).
+type PlanFunc func() (*Plan, error)
+
+// Results hands measurements back to a renderer in job order. The cursor
+// API lets renderers keep the same nested-loop shape as the planners that
+// enqueued the jobs.
+type Results struct {
+	ms []Measurement
+	i  int
+}
+
+// Next returns the next measurement in job order. It panics if the
+// renderer consumes more results than the plan enqueued — a planner/
+// renderer mismatch, which is a programming error.
+func (r *Results) Next() Measurement {
+	if r.i >= len(r.ms) {
+		panic("eval: renderer consumed more measurements than planned")
+	}
+	m := r.ms[r.i]
+	r.i++
+	return m
+}
+
+// Take returns the next n measurements in job order.
+func (r *Results) Take(n int) []Measurement {
+	out := make([]Measurement, n)
+	for i := range out {
+		out[i] = r.Next()
+	}
+	return out
+}
+
+// Runner executes job lists over a bounded worker pool. The pool bound is a
+// semaphore shared by every Run call on the same Runner, so concurrent
+// experiments (the CLI's all-experiments mode) stay within one global
+// concurrency budget instead of multiplying it.
+type Runner struct {
+	workers int
+	sem     chan struct{}
+}
+
+// NewRunner returns a runner with the given concurrency; workers <= 0 means
+// runtime.GOMAXPROCS(0). A nil *Runner is valid everywhere one is accepted
+// and means strictly sequential in-place execution.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers reports the pool size.
+func (r *Runner) Workers() int {
+	if r == nil {
+		return 1
+	}
+	return r.workers
+}
+
+// Run executes all jobs and returns their measurements in job order. On
+// failure it cancels the jobs that have not started and returns the error
+// of the lowest-indexed failed job — exactly the error a sequential loop
+// surfaces first. (Workers claim jobs in index order and a claimed job
+// always runs, so every job below the first failure has completed by the
+// time Run returns.) A cancelled ctx aborts promptly between jobs — a
+// measurement already compiling runs to completion — and surfaces
+// ctx.Err().
+func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Measurement, error) {
+	if r == nil {
+		return runSequential(ctx, jobs)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ms := make([]Measurement, len(jobs))
+	errs := make([]error, len(jobs)) // only real job errors; skips stay nil
+	var next, done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < min(r.workers, len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Checked before the select: with both channels ready,
+				// select picks arbitrarily, and cancellation must win.
+				if ctx.Err() != nil {
+					return
+				}
+				// The semaphore is shared by every Run call on this
+				// Runner, holding concurrent experiments to one global
+				// concurrency budget.
+				select {
+				case <-ctx.Done():
+					return
+				case r.sem <- struct{}{}:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					<-r.sem
+					return
+				}
+				// No ctx check between claim and run: a claimed job always
+				// executes, which is what makes the first-error guarantee
+				// deterministic.
+				m, err := jobs[i].run()
+				if err != nil {
+					errs[i] = err
+					cancel() // skip jobs that have not been claimed yet
+				} else {
+					ms[i] = m
+				}
+				done.Add(1)
+				<-r.sem
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if int(done.Load()) < len(jobs) {
+		// Only a cancelled ctx can leave jobs unclaimed without an error.
+		return nil, ctx.Err()
+	}
+	return ms, nil
+}
+
+// runSequential is the nil-Runner path: jobs run in order on the calling
+// goroutine, exactly like the pre-runner harness.
+func runSequential(ctx context.Context, jobs []Job) ([]Measurement, error) {
+	ms := make([]Measurement, len(jobs))
+	for i, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m, err := j.run()
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	return ms, nil
+}
+
+// Execute runs the plan's jobs on r (nil = sequential) and renders the
+// results. A renderer that consumes fewer measurements than the plan
+// enqueued is an error — the planner/renderer loops have drifted apart and
+// the rendered columns can no longer be trusted (over-consumption panics
+// in Results.Next).
+func (p *Plan) Execute(ctx context.Context, r *Runner) (string, error) {
+	if p.Serial {
+		r = nil
+	}
+	ms, err := r.Run(ctx, p.Jobs)
+	if err != nil {
+		return "", err
+	}
+	res := &Results{ms: ms}
+	out, err := p.Render(res)
+	if err != nil {
+		return "", err
+	}
+	if res.i != len(res.ms) {
+		return "", fmt.Errorf("eval: renderer consumed %d of %d measurements", res.i, len(res.ms))
+	}
+	return out, nil
+}
+
+// runPlan builds and sequentially executes a plan — the implementation
+// behind the package's exported experiment functions (Table2, Fig6, ...),
+// which keep their historical sequential semantics.
+func runPlan(pf PlanFunc) (string, error) {
+	p, err := pf()
+	if err != nil {
+		return "", err
+	}
+	return p.Execute(context.Background(), nil)
+}

@@ -17,6 +17,7 @@
 package mussti
 
 import (
+	"context"
 	"io"
 
 	"mussti/internal/arch"
@@ -68,11 +69,21 @@ func OptimizeOneQubit(c *Circuit) *Circuit { return circuit.OptimizeOneQubit(c) 
 
 // Benchmark builds a paper benchmark by its table name, e.g. "Adder_n32",
 // "SQRT_n299". It panics on unknown names; use BenchmarkByName for errors.
-func Benchmark(name string) *Circuit { return bench.MustByName(name) }
+//
+// Generation is deterministic and memoized internally; the returned
+// circuit is a private copy the caller may freely mutate.
+func Benchmark(name string) *Circuit { return bench.MustByName(name).Clone() }
 
 // BenchmarkByName builds a paper benchmark, returning an error for unknown
-// or malformed names.
-func BenchmarkByName(name string) (*Circuit, error) { return bench.ByName(name) }
+// or malformed names. Like Benchmark, it returns a private copy backed by
+// the internal memoized cache.
+func BenchmarkByName(name string) (*Circuit, error) {
+	c, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Clone(), nil
+}
 
 // BenchmarkFamilies lists the supported generator families.
 func BenchmarkFamilies() []string { return bench.Families() }
@@ -203,12 +214,35 @@ type ExperimentInfo = eval.Experiment
 // extension studies (replacement-policy ablation, optical-port sweep).
 func ExperimentList() []ExperimentInfo { return eval.AllExperiments() }
 
-// RunExperiment runs one experiment by ID ("table2", "fig6"..."fig13") and
-// returns its rendered text.
+// RunExperiment runs one experiment by ID ("table2", "fig6"..."fig13")
+// sequentially and returns its rendered text.
 func RunExperiment(id string) (string, error) {
 	e, err := eval.ByID(id)
 	if err != nil {
 		return "", err
 	}
 	return e.Run()
+}
+
+// Runner fans independent experiment measurements out over a bounded worker
+// pool. One Runner may serve many concurrent experiments; they share its
+// concurrency budget.
+type Runner = eval.Runner
+
+// NewRunner returns a measurement runner with the given worker count;
+// workers <= 0 means GOMAXPROCS. A nil *Runner means strictly sequential
+// execution wherever one is accepted.
+func NewRunner(workers int) *Runner { return eval.NewRunner(workers) }
+
+// RunExperimentContext runs one experiment by ID on the given runner (nil =
+// sequential), honouring ctx cancellation. The worker count never affects
+// the rendered tables: deterministic cells are reassembled in paper order,
+// and the experiments whose cells are wall-clock compile times (fig10,
+// fig11) always run their measurements serially.
+func RunExperimentContext(ctx context.Context, id string, r *Runner) (string, error) {
+	e, err := eval.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	return e.RunContext(ctx, r)
 }

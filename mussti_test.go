@@ -1,6 +1,7 @@
 package mussti_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -85,6 +86,26 @@ func TestPublicExperimentList(t *testing.T) {
 	}
 	if _, err := mussti.RunExperiment("does-not-exist"); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestPublicRunExperimentContext(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short")
+	}
+	seq, err := mussti.RunExperimentContext(context.Background(), "table2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := mussti.RunExperimentContext(context.Background(), "table2", mussti.NewRunner(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Error("parallel table2 differs from sequential")
+	}
+	if !strings.Contains(par, "Table 2") {
+		t.Error("table2 output malformed")
 	}
 }
 
