@@ -3,13 +3,16 @@
 // -exp selects one ("table2", "fig6", ... "fig13"), -list enumerates them.
 // Measurements fan out over a worker pool by default (-parallel=false for
 // strictly sequential runs, -j to pin the worker count); the worker count
-// never changes the rendered tables. fig10/fig11 report wall-clock compile
-// times, so their own measurements always run serially — for faithful
-// timing curves run them alone (-exp fig10) rather than in all mode, where
-// concurrent neighbour experiments still compete for CPU.
+// never changes the rendered tables. Identical measurement points shared by
+// several experiments compile once per process through the cross-experiment
+// cache (-cache=false to disable it). fig10/fig11 report wall-clock compile
+// times, so their own measurements always run serially and uncached — for
+// faithful timing curves run them alone (-exp fig10) rather than in all
+// mode, where concurrent neighbour experiments still compete for CPU.
 //
 //	go run ./cmd/experiments -exp table2
-//	go run ./cmd/experiments -j 4          # full evaluation
+//	go run ./cmd/experiments -j 4 -progress     # full evaluation, tick lines
+//	go run ./cmd/experiments -csv results.csv   # structured rows to a file
 //	go run ./cmd/experiments -parallel=false
 package main
 
@@ -29,6 +32,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	parallel := flag.Bool("parallel", true, "fan measurements (and, in all-experiments mode, whole experiments) out over a worker pool")
 	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS)")
+	cache := flag.Bool("cache", true, "dedupe identical measurement points across experiments (needs -parallel)")
+	progress := flag.Bool("progress", false, "print per-job progress tick lines to stderr (needs -parallel)")
+	csvPath := flag.String("csv", "", "write every structured Measurement row to this CSV file")
 	flag.Parse()
 
 	if *list {
@@ -38,10 +44,11 @@ func main() {
 		return
 	}
 
-	// Interrupt cancels the run between measurements: in-flight compiles
-	// finish, queued ones are skipped, and the failure surfaces per
-	// experiment. stop() runs as soon as the first signal lands so that a
-	// second interrupt regains default handling and kills the process.
+	// Interrupt cancels the run mid-measurement: in-flight compiles abort
+	// within one scheduler step, queued ones are skipped, and the failure
+	// surfaces per experiment. stop() runs as soon as the first signal
+	// lands so that a second interrupt regains default handling and kills
+	// the process.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go func() {
@@ -51,17 +58,51 @@ func main() {
 	var runner *mussti.Runner
 	if *parallel {
 		runner = mussti.NewRunner(*jobs)
+		if !*cache {
+			runner.DisableCache()
+		}
+		if *progress {
+			runner.SetProgress(os.Stderr)
+		}
+	} else if *progress || !*cache {
+		fmt.Fprintln(os.Stderr, "experiments: -progress and -cache need -parallel; ignoring")
 	}
 
-	// run renders one experiment with its banner and timing footer.
-	run := func(e mussti.ExperimentInfo) (string, error) {
+	// run renders one experiment with its banner and timing footer, and
+	// hands back its structured measurement rows for the CSV sink.
+	run := func(e mussti.ExperimentInfo) (string, []mussti.Measurement, error) {
 		start := time.Now()
-		out, err := e.RunContext(ctx, runner)
+		out, ms, err := e.CollectContext(ctx, runner)
 		if err != nil {
-			return "", fmt.Errorf("%s: %w", e.ID, err)
+			return "", nil, fmt.Errorf("%s: %w", e.ID, err)
 		}
 		return fmt.Sprintf("== %s — %s ==\n\n%s(completed in %s)\n\n",
-			e.ID, e.Description, out, time.Since(start).Round(time.Millisecond)), nil
+			e.ID, e.Description, out, time.Since(start).Round(time.Millisecond)), ms, nil
+	}
+
+	var collected []mussti.Measurement
+	finish := func() {
+		if runner != nil {
+			if hits, misses := runner.CacheStats(); hits > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: measurement cache served %d of %d points without compiling\n",
+					hits, hits+misses)
+			}
+		}
+		if *csvPath == "" {
+			return
+		}
+		f, err := os.Create(*csvPath)
+		if err == nil {
+			err = mussti.WriteMeasurementsCSV(f, collected)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: writing csv:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %d measurement rows to %s\n", len(collected), *csvPath)
 	}
 
 	if *exp != "" {
@@ -69,12 +110,14 @@ func main() {
 			if e.ID != *exp {
 				continue
 			}
-			out, err := run(e)
+			out, ms, err := run(e)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
 				os.Exit(1)
 			}
 			fmt.Print(out)
+			collected = ms
+			finish()
 			return
 		}
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; use -list\n", *exp)
@@ -84,11 +127,12 @@ func main() {
 	// All-experiments mode: every experiment runs even when earlier ones
 	// fail; failures print as they surface and the process exits non-zero
 	// at the end. With a runner, experiments execute concurrently — their
-	// measurements share the runner's global worker budget — while output
-	// still prints in paper order.
+	// measurements share the runner's global worker budget and measurement
+	// cache — while output (and the CSV rows) stay in paper order.
 	exps := mussti.ExperimentList()
 	type result struct {
 		out string
+		ms  []mussti.Measurement
 		err error
 	}
 	results := make([]chan result, len(exps))
@@ -98,15 +142,15 @@ func main() {
 			continue
 		}
 		go func(i int, e mussti.ExperimentInfo) {
-			out, err := run(e)
-			results[i] <- result{out, err}
+			out, ms, err := run(e)
+			results[i] <- result{out, ms, err}
 		}(i, e)
 	}
 	failed := 0
 	for i, e := range exps {
 		var res result
 		if runner == nil {
-			res.out, res.err = run(e)
+			res.out, res.ms, res.err = run(e)
 		} else {
 			res = <-results[i]
 		}
@@ -116,7 +160,9 @@ func main() {
 			continue
 		}
 		fmt.Print(res.out)
+		collected = append(collected, res.ms...)
 	}
+	finish()
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed\n", failed, len(exps))
 		os.Exit(1)

@@ -24,11 +24,13 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"mussti/internal/arch"
 	"mussti/internal/circuit"
+	"mussti/internal/core"
 	"mussti/internal/dag"
 	"mussti/internal/physics"
 	"mussti/internal/sim"
@@ -76,6 +78,10 @@ type Options struct {
 	LookAhead int
 	// Trace enables op recording.
 	Trace bool
+	// Observer, when non-nil, receives the same per-step progress
+	// callbacks as the MUSS-TI compiler (gates scheduled, per-hop
+	// shuttles, evictions). It never changes the schedule.
+	Observer core.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -88,8 +94,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Compile schedules circuit c onto grid g with the chosen baseline.
+// Compile schedules circuit c onto grid g with the chosen baseline. It is
+// CompileContext with a background context.
 func Compile(algo Algorithm, c *circuit.Circuit, g *arch.Grid, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), algo, c, g, opts)
+}
+
+// CompileContext is Compile with cooperative cancellation: the routing loop
+// checks ctx at every frontier step, so a cancelled or expired context
+// aborts the compile within one scheduler step and surfaces ctx.Err().
+func CompileContext(ctx context.Context, algo Algorithm, c *circuit.Circuit, g *arch.Grid, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if c.NumQubits > g.TotalCapacity() {
 		return nil, fmt.Errorf("baseline: circuit %q needs %d qubits, grid holds %d",
@@ -97,12 +111,14 @@ func Compile(algo Algorithm, c *circuit.Circuit, g *arch.Grid, opts Options) (*R
 	}
 	start := time.Now()
 	r := &gridRouter{
+		ctx:  ctx,
 		algo: algo,
 		c:    c,
 		grid: g,
 		opts: opts,
 		eng:  sim.NewGridEngine(g, c.NumQubits, opts.Params),
 		g:    dag.Build(c),
+		obs:  core.ObserverOrNop(opts.Observer),
 	}
 	if opts.Trace {
 		r.eng.EnableTrace()
@@ -118,17 +134,20 @@ func Compile(algo Algorithm, c *circuit.Circuit, g *arch.Grid, opts Options) (*R
 
 // gridRouter is shared scheduling state for all three baselines.
 type gridRouter struct {
+	ctx  context.Context
 	algo Algorithm
 	c    *circuit.Circuit
 	grid *arch.Grid
 	opts Options
 	eng  *sim.Engine
 	g    *dag.Graph
+	obs  core.Observer
 
 	perQubit [][]int
 	cursor   []int
 	lastUsed []int64
 	clock    int64
+	executed int   // two-qubit gates done, for Observer ticks
 	home     []int // MQT: each qubit's home trap
 }
 
@@ -173,6 +192,11 @@ func (r *gridRouter) run() error {
 		}
 	}
 	for !r.g.Done() {
+		// Cancellation aborts within one frontier step, mirroring the
+		// MUSS-TI scheduler's contract.
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
 		frontier := r.g.Frontier()
 		progressed := false
 		// All baselines execute already-co-located gates first; this is
@@ -222,6 +246,8 @@ func (r *gridRouter) executeNode(id int) error {
 	r.clock++
 	r.lastUsed[a] = r.clock
 	r.lastUsed[b] = r.clock
+	r.executed++
+	r.obs.GateScheduled(r.executed, len(r.g.Nodes))
 	gi := r.g.Nodes[id].GateIndex
 	for _, q := range []int{a, b} {
 		if r.cursor[q] < len(r.perQubit[q]) && r.perQubit[q][r.cursor[q]] == gi {

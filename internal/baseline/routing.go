@@ -23,11 +23,18 @@ func (r *gridRouter) hop(q, next, protectA, protectB int) error {
 		// The evicted ion transits intermediate junctions without merging
 		// into chains en route, so a multi-hop spill is one shuttle over a
 		// longer distance.
+		victimFrom := r.eng.ZoneOf(victim)
 		if err := r.eng.Move(victim, spill, float64(hops)*r.grid.TrapPitchUM); err != nil {
 			return err
 		}
+		r.obs.Eviction(victim, victimFrom, spill)
 	}
-	return r.eng.Move(q, next, r.grid.TrapPitchUM)
+	from := r.eng.ZoneOf(q)
+	if err := r.eng.Move(q, next, r.grid.TrapPitchUM); err != nil {
+		return err
+	}
+	r.obs.Shuttle(q, from, next)
+	return nil
 }
 
 // evictionVictim picks the LRU ion of a trap, skipping protected qubits.

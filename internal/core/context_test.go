@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mussti/internal/arch"
+	"mussti/internal/circuit/bench"
+)
+
+// TestCompileContextPreCancelled is the promptness contract: an already-
+// cancelled context must abort the compile within one scheduler step —
+// including the SABRE probe passes, which are full scheduling runs — even
+// for a benchmark that takes hundreds of milliseconds to compile.
+func TestCompileContextPreCancelled(t *testing.T) {
+	c := bench.MustByName("SQRT_n117")
+	d := arch.MustNew(arch.DefaultConfig(c.NumQubits))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := CompileContext(ctx, c, d, DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A full SQRT_n117 compile takes ~0.5s on the dev machine; one
+	// scheduler step is microseconds. Allow generous CI headroom.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("pre-cancelled compile took %s, want a prompt return", elapsed)
+	}
+}
+
+// TestCompileContextDeadline: an expired deadline surfaces
+// context.DeadlineExceeded, not a mangled internal error.
+func TestCompileContextDeadline(t *testing.T) {
+	c := bench.MustByName("Adder_n128")
+	d := arch.MustNew(arch.DefaultConfig(c.NumQubits))
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := CompileContext(ctx, c, d, DefaultOptions()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestCompileContextMidCompileCancel cancels while the scheduler is deep in
+// a long compile; the run must abort with ctx.Err() instead of finishing.
+// (The returned error is itself the proof of interruption: a compile that
+// ran to completion returns nil.)
+func TestCompileContextMidCompileCancel(t *testing.T) {
+	c := bench.MustByName("SQRT_n117")
+	d := arch.MustNew(arch.DefaultConfig(c.NumQubits))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := CompileContext(ctx, c, d, DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (compile was not interrupted)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled compile took %s, want a prompt return", elapsed)
+	}
+}
+
+// TestCompileContextBackgroundMatchesCompile: threading a live context must
+// not change the schedule.
+func TestCompileContextBackgroundMatchesCompile(t *testing.T) {
+	c := bench.MustByName("QAOA_n128")
+	d := arch.MustNew(arch.DefaultConfig(c.NumQubits))
+	plain, err := Compile(c, d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := CompileContext(context.Background(), c, d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Metrics != withCtx.Metrics {
+		t.Errorf("metrics differ: Compile %+v vs CompileContext %+v", plain.Metrics, withCtx.Metrics)
+	}
+}
+
+// countingObserver tallies every callback; used to check the observer sees
+// exactly the events the scheduler's own stats count.
+type countingObserver struct {
+	gatesDone, gatesTotal      int
+	shuttles, evictions, swaps int
+}
+
+func (o *countingObserver) GateScheduled(done, total int) { o.gatesDone, o.gatesTotal = done, total }
+func (o *countingObserver) Shuttle(q, from, to int)       { o.shuttles++ }
+func (o *countingObserver) Eviction(victim, from, to int) { o.evictions++ }
+func (o *countingObserver) SwapInserted(a, b int)         { o.swaps++ }
+
+// TestObserverSeesSchedulerEvents runs a single-pass compile (trivial
+// mapping — SABRE would aggregate several passes) and cross-checks the
+// observer's tallies against Result.Stats and the engine metrics: the
+// observer is a view of the run loop, not a second bookkeeper.
+func TestObserverSeesSchedulerEvents(t *testing.T) {
+	c := bench.MustByName("Adder_n128")
+	d := arch.MustNew(arch.DefaultConfig(c.NumQubits))
+	obs := &countingObserver{}
+	opts := DefaultOptions()
+	opts.Mapping = MappingTrivial
+	opts.Observer = obs
+	res, err := Compile(c, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.gatesDone != obs.gatesTotal || obs.gatesDone == 0 {
+		t.Errorf("final gate tick %d/%d, want a complete pass", obs.gatesDone, obs.gatesTotal)
+	}
+	if obs.gatesDone != res.Stats.ExecutableFast+res.Stats.Routed {
+		t.Errorf("observer saw %d gates, stats count %d",
+			obs.gatesDone, res.Stats.ExecutableFast+res.Stats.Routed)
+	}
+	if obs.evictions != res.Stats.Evictions {
+		t.Errorf("observer saw %d evictions, stats count %d", obs.evictions, res.Stats.Evictions)
+	}
+	if obs.swaps != res.Stats.SwapsInserted {
+		t.Errorf("observer saw %d inserted swaps, stats count %d", obs.swaps, res.Stats.SwapsInserted)
+	}
+	// Every engine move flows through moveWithEviction, which reports each
+	// one as either a Shuttle or an Eviction.
+	if got := obs.shuttles + obs.evictions; got != res.Metrics.Shuttles {
+		t.Errorf("observer saw %d moves, metrics count %d shuttles", got, res.Metrics.Shuttles)
+	}
+}
+
+// TestObserverDoesNotChangeSchedule: observation must be a read-only layer.
+func TestObserverDoesNotChangeSchedule(t *testing.T) {
+	c := bench.MustByName("QAOA_n128")
+	d := arch.MustNew(arch.DefaultConfig(c.NumQubits))
+	bare, err := Compile(c, d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Observer = &countingObserver{}
+	observed, err := Compile(c, d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Metrics != observed.Metrics {
+		t.Errorf("metrics differ with observer attached: %+v vs %+v", bare.Metrics, observed.Metrics)
+	}
+}

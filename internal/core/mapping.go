@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mussti/internal/arch"
@@ -60,10 +61,13 @@ func moduleBudget(d *arch.Device, m int) int {
 // circuit from π′ to obtain π″, and use π″ as the production run's initial
 // mapping. The reverse pass pre-loads qubits near their earliest
 // interactions, the "memory pre-loading" analogy of the paper.
-func sabreMapping(c *circuit.Circuit, d *arch.Device, opts Options) ([]int, error) {
+func sabreMapping(ctx context.Context, c *circuit.Circuit, d *arch.Device, opts Options) ([]int, error) {
 	probe := opts
 	probe.Mapping = MappingTrivial
 	probe.Trace = false
+	// Probe passes exist only to derive a placement; progress ticks from
+	// them would interleave confusingly with the production run's.
+	probe.Observer = nil
 	// The probe passes only need placement dynamics, not SWAP insertion —
 	// but keeping insertion identical to the production run makes the
 	// final mapping consistent with how the run will actually behave.
@@ -71,11 +75,11 @@ func sabreMapping(c *circuit.Circuit, d *arch.Device, opts Options) ([]int, erro
 	if err != nil {
 		return nil, err
 	}
-	forward, err := runForMapping(c, d, probe, trivial)
+	forward, err := runForMapping(ctx, c, d, probe, trivial)
 	if err != nil {
 		return nil, fmt.Errorf("core: sabre forward pass: %w", err)
 	}
-	backward, err := runForMapping(c.Reverse(), d, probe, forward)
+	backward, err := runForMapping(ctx, c.Reverse(), d, probe, forward)
 	if err != nil {
 		return nil, fmt.Errorf("core: sabre reverse pass: %w", err)
 	}
@@ -83,8 +87,8 @@ func sabreMapping(c *circuit.Circuit, d *arch.Device, opts Options) ([]int, erro
 }
 
 // runForMapping executes one scheduling pass and returns the final mapping.
-func runForMapping(c *circuit.Circuit, d *arch.Device, opts Options, initial []int) ([]int, error) {
-	s, err := newScheduler(c, d, opts, initial)
+func runForMapping(ctx context.Context, c *circuit.Circuit, d *arch.Device, opts Options, initial []int) ([]int, error) {
+	s, err := newScheduler(ctx, c, d, opts, initial)
 	if err != nil {
 		return nil, err
 	}

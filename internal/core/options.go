@@ -1,13 +1,3 @@
-// Package core implements the MUSS-TI compiler (§3 of the paper): the
-// multi-level shuttle scheduler for EML-QCCD devices.
-//
-// The scheduling loop mirrors multi-level memory management. Qubits are
-// tasks; the storage zone is external storage (level 0), the operation zone
-// main memory (level 1), the optical zone the CPU (level 2). A two-qubit
-// gate needs its ions delivered to the right zone on time; misplaced
-// partners are routed in, and when a target zone is full the least recently
-// used resident is evicted one level down — the trap-world analogue of a
-// page fault.
 package core
 
 import (
@@ -62,6 +52,10 @@ type Options struct {
 	// paper's multi-level rule); the `routing` extension experiment
 	// measures its value.
 	DisableRoutingLookAhead bool
+	// Observer, when non-nil, receives per-step progress callbacks (gates
+	// scheduled, shuttles, evictions, inserted SWAPs) from the run. It
+	// never changes the schedule.
+	Observer Observer
 }
 
 // DefaultOptions returns the paper's headline configuration:

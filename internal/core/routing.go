@@ -188,11 +188,18 @@ func (s *scheduler) moveWithEviction(q, dst, keepA, keepB int) error {
 		if err != nil {
 			return err
 		}
+		victimFrom := s.eng.ZoneOf(victim)
 		if err := s.eng.Move(victim, target, s.d.IntraDistanceUM(dst, target)); err != nil {
 			return fmt.Errorf("core: evicting qubit %d: %w", victim, err)
 		}
+		s.obs.Eviction(victim, victimFrom, target)
 	}
-	return s.eng.Move(q, dst, s.d.IntraDistanceUM(s.eng.ZoneOf(q), dst))
+	from := s.eng.ZoneOf(q)
+	if err := s.eng.Move(q, dst, s.d.IntraDistanceUM(from, dst)); err != nil {
+		return err
+	}
+	s.obs.Shuttle(q, from, dst)
+	return nil
 }
 
 // pickLRUVictim returns the least recently used resident of zone z,

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"time"
 
 	"mussti/internal/arch"
 	"mussti/internal/circuit"
@@ -10,123 +10,15 @@ import (
 	"mussti/internal/sim"
 )
 
-// SchedStats counts the scheduler's decisions over one run — how often
-// each mechanism of §3.2 fired. They explain *why* a schedule cost what it
-// did and feed the ablation analyses.
-type SchedStats struct {
-	// ExecutableFast counts frontier gates executed with no routing
-	// (the "prioritize executable gates" fast path).
-	ExecutableFast int
-	// Routed counts gates that needed qubit routing.
-	Routed int
-	// Evictions counts conflict-handling evictions (page faults).
-	Evictions int
-	// SwapsConsidered and SwapsInserted count §3.3 decisions.
-	SwapsConsidered int
-	SwapsInserted   int
-}
-
-// Result is the outcome of one compilation run.
-type Result struct {
-	// Metrics are the executed schedule's simulation metrics.
-	Metrics sim.Metrics
-	// Stats counts the scheduler's decisions.
-	Stats SchedStats
-	// CompileTime is the wall-clock scheduling cost (the paper's Fig. 10
-	// metric), excluding circuit generation.
-	CompileTime time.Duration
-	// InitialMapping and FinalMapping give each qubit's zone before and
-	// after execution.
-	InitialMapping []int
-	FinalMapping   []int
-	// Trace is the op-level schedule when Options.Trace was set.
-	Trace []sim.Op
-	// Report is the per-zone activity report when Options.Trace was set.
-	Report *sim.Report
-}
-
-// Compile schedules circuit c onto device d with the given options and
-// returns the executed schedule's metrics. It errors when the device cannot
-// hold the circuit or an internal invariant breaks.
-func Compile(c *circuit.Circuit, d *arch.Device, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	if c.NumQubits > d.Capacity() {
-		return nil, fmt.Errorf("core: circuit %q needs %d qubits, device holds %d",
-			c.Name, c.NumQubits, d.Capacity())
-	}
-	start := time.Now()
-
-	candidates, err := candidateMappings(c, d, opts)
-	if err != nil {
-		return nil, err
-	}
-
-	var best *Result
-	for _, initial := range candidates {
-		s, err := newScheduler(c, d, opts, initial)
-		if err != nil {
-			return nil, err
-		}
-		if opts.Trace {
-			s.eng.EnableTrace()
-		}
-		if err := s.run(); err != nil {
-			return nil, err
-		}
-		res := &Result{
-			Metrics:        s.eng.Metrics(),
-			Stats:          s.stats,
-			InitialMapping: initial,
-			FinalMapping:   s.mappingSnapshot(),
-			Trace:          s.eng.Trace(),
-		}
-		if opts.Trace {
-			rep := s.eng.BuildReport()
-			res.Report = &rep
-		}
-		if best == nil || res.Metrics.Fidelity.Log() > best.Metrics.Fidelity.Log() {
-			best = res
-		}
-	}
-	best.CompileTime = time.Since(start)
-	return best, nil
-}
-
-// candidateMappings returns the initial mappings the compiler will try.
-// SABRE evaluates both the two-fold-search mapping and the trivial one and
-// Compile keeps whichever schedule reaches the higher fidelity: the search
-// is a heuristic, and falling back costs only compile time (which the
-// Fig. 11 trade-off accounts for).
-func candidateMappings(c *circuit.Circuit, d *arch.Device, opts Options) ([][]int, error) {
-	switch opts.Mapping {
-	case MappingTrivial:
-		m, err := trivialMapping(c.NumQubits, d)
-		if err != nil {
-			return nil, err
-		}
-		return [][]int{m}, nil
-	case MappingSABRE:
-		triv, err := trivialMapping(c.NumQubits, d)
-		if err != nil {
-			return nil, err
-		}
-		sab, err := sabreMapping(c, d, opts)
-		if err != nil {
-			return nil, err
-		}
-		return [][]int{sab, triv}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown mapping strategy %d", opts.Mapping)
-	}
-}
-
 // scheduler is the mutable state of one scheduling run.
 type scheduler struct {
+	ctx  context.Context
 	c    *circuit.Circuit
 	d    *arch.Device
 	opts Options
 	eng  *sim.Engine
 	g    *dag.Graph
+	obs  Observer
 
 	// perQubit[q] lists indices into c.Gates touching q, in order;
 	// cursor[q] is the next unexecuted one. Used to interleave one-qubit
@@ -141,6 +33,9 @@ type scheduler struct {
 	// rngState drives the ReplaceRandom ablation policy deterministically.
 	rngState uint64
 
+	// executed counts two-qubit gates done this pass, for Observer ticks.
+	executed int
+
 	// stats tallies scheduling decisions for Result.Stats.
 	stats SchedStats
 
@@ -148,13 +43,15 @@ type scheduler struct {
 	nodeOf map[int]int
 }
 
-func newScheduler(c *circuit.Circuit, d *arch.Device, opts Options, initial []int) (*scheduler, error) {
+func newScheduler(ctx context.Context, c *circuit.Circuit, d *arch.Device, opts Options, initial []int) (*scheduler, error) {
 	s := &scheduler{
+		ctx:      ctx,
 		c:        c,
 		d:        d,
 		opts:     opts,
 		eng:      sim.NewDeviceEngine(d, c.NumQubits, opts.Params),
 		g:        dag.Build(c),
+		obs:      ObserverOrNop(opts.Observer),
 		perQubit: make([][]int, c.NumQubits),
 		cursor:   make([]int, c.NumQubits),
 		lastUsed: make([]int64, c.NumQubits),
@@ -185,7 +82,9 @@ func (s *scheduler) mappingSnapshot() []int {
 }
 
 // run executes the gate-scheduling loop of Fig. 3: gate selection, qubit
-// routing, conflict handling, gate execution, DAG update — until empty.
+// routing, conflict handling, gate execution, DAG update — until empty or
+// the context is cancelled. The cancellation check sits at the top of the
+// frontier loop, so a cancelled context aborts within one scheduler step.
 func (s *scheduler) run() error {
 	// Leading one-qubit gates execute in place before any routing.
 	for q := 0; q < s.c.NumQubits; q++ {
@@ -194,6 +93,9 @@ func (s *scheduler) run() error {
 		}
 	}
 	for !s.g.Done() {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
 		frontier := s.g.Frontier()
 		// Prioritise gates executable right away (§3.2 "Prioritize
 		// executable gates"): execute every such frontier gate first.
@@ -270,6 +172,8 @@ func (s *scheduler) executeNode(id int) error {
 	s.clock++
 	s.lastUsed[a] = s.clock
 	s.lastUsed[b] = s.clock
+	s.executed++
+	s.obs.GateScheduled(s.executed, len(s.g.Nodes))
 
 	// Advance both cursors past this gate.
 	gi := s.g.Nodes[id].GateIndex

@@ -86,6 +86,7 @@ func (s *scheduler) trySwapFor(qx int) error {
 		return err
 	}
 	s.stats.SwapsInserted++
+	s.obs.SwapInserted(qx, qc)
 	s.clock++
 	s.lastUsed[qx] = s.clock
 	s.lastUsed[qc] = s.clock

@@ -32,14 +32,24 @@ type Experiment struct {
 // byte-identical to Run at any worker count: jobs carry their paper-order
 // positions and the renderer consumes them in that order.
 func (e Experiment) RunContext(ctx context.Context, r *Runner) (string, error) {
+	out, _, err := e.CollectContext(ctx, r)
+	return out, err
+}
+
+// CollectContext is RunContext, additionally returning the experiment's
+// structured Measurement rows in job order — the data behind the rendered
+// text, for CSV export and other structured sinks. Experiments without a
+// Plan render text only (nil measurements).
+func (e Experiment) CollectContext(ctx context.Context, r *Runner) (string, []Measurement, error) {
 	if e.Plan == nil {
-		return e.Run()
+		out, err := e.Run()
+		return out, nil, err
 	}
 	p, err := e.Plan()
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	return p.Execute(ctx, r)
+	return p.ExecuteCollect(ctx, r)
 }
 
 // Experiments lists every experiment in paper order.

@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the cross-experiment measurement cache. Every experiment is
+// a bag of deterministic (application, compiler, device config, options)
+// points, and several experiments sweep overlapping points: table2 and the
+// fig6 small scale share their whole grid-2x2 columns, fig7/fig12 revisit
+// default-capacity cells, and the -all CLI mode runs all of them in one
+// process. A Memo keys each point by its full configuration and runs it
+// exactly once, singleflight-style: concurrent requests for an in-flight
+// key wait for the leader instead of compiling again.
+//
+// Caching is safe because measurements are deterministic functions of
+// their spec — the only nondeterministic field, CompileTime, is never
+// rendered by a cached experiment (the wall-clock experiments fig10/fig11
+// are Serial and bypass the runner, hence the cache).
+
+// Memo is a concurrency-safe, singleflight measurement cache shared by all
+// experiments running in one process. The zero value is not usable; call
+// NewMemo.
+type Memo struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// memoEntry is one cached (or in-flight) measurement. done closes when the
+// leader finishes; retry marks a leader that was cancelled mid-compile, so
+// waiters re-claim the key instead of caching a context error.
+type memoEntry struct {
+	done  chan struct{}
+	m     Measurement
+	err   error
+	retry bool
+}
+
+// NewMemo returns an empty measurement cache.
+func NewMemo() *Memo {
+	return &Memo{entries: make(map[string]*memoEntry)}
+}
+
+// Stats reports how many measurements were served from cache (hits —
+// including waiters coalesced onto an in-flight compile) and how many were
+// actually compiled (misses).
+func (mo *Memo) Stats() (hits, misses int64) {
+	return mo.hits.Load(), mo.misses.Load()
+}
+
+// Do returns the measurement for key, computing it with fn at most once per
+// key across all concurrent callers. Real errors (bad app names, compiler
+// invariant failures) are cached like results; context cancellation is not:
+// a cancelled leader's entry is discarded so a later caller with a live
+// context retries, and waiters whose own ctx dies stop waiting.
+func (mo *Memo) Do(ctx context.Context, key string, fn func() (Measurement, error)) (Measurement, error) {
+	for {
+		mo.mu.Lock()
+		if e, ok := mo.entries[key]; ok {
+			mo.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return Measurement{}, ctx.Err()
+			case <-e.done:
+			}
+			if e.retry {
+				continue // leader was cancelled; re-claim the key
+			}
+			mo.hits.Add(1)
+			return e.m, e.err
+		}
+		e := &memoEntry{done: make(chan struct{})}
+		mo.entries[key] = e
+		mo.mu.Unlock()
+
+		m, err := fn()
+		if err != nil && errors.Is(err, ctx.Err()) {
+			// Cancelled mid-compile: the measurement never happened, so
+			// leave nothing behind but this leader's context error.
+			mo.mu.Lock()
+			delete(mo.entries, key)
+			mo.mu.Unlock()
+			e.retry = true
+			close(e.done)
+			return Measurement{}, err
+		}
+		mo.misses.Add(1)
+		e.m, e.err = m, err
+		close(e.done)
+		return m, err
+	}
+}
+
+// cacheKey renders a Job's full configuration as a deterministic string
+// key, or ok=false when the job must not be cached (trace-recording runs).
+// The Observer option is deliberately excluded: observation never changes a
+// measurement.
+func (j Job) cacheKey() (key string, ok bool) {
+	switch {
+	case j.Mussti != nil:
+		s := j.Mussti
+		if s.Opts.Trace {
+			return "", false
+		}
+		dev := ""
+		if s.Grid != nil {
+			g := s.Grid
+			dev = fmt.Sprintf("grid{%dx%d cap=%d pitch=%g}", g.Rows, g.Cols, g.Capacity, g.TrapPitchUM)
+		} else {
+			// A zero Config resolves to arch.DefaultConfig(qubits), and the
+			// qubit count is a function of App — so keying the literal
+			// Config is sound.
+			dev = fmt.Sprintf("eml%+v", s.Config)
+		}
+		o := s.Opts
+		return fmt.Sprintf("mussti|%s|%s|map=%d swap=%t k=%d T=%d repl=%d nolook=%t|phys%+v",
+			s.App, dev, o.Mapping, o.SwapInsertion, o.LookAhead, o.SwapThreshold,
+			o.Replacement, o.DisableRoutingLookAhead, o.Params), true
+	case j.Baseline != nil:
+		s := j.Baseline
+		if s.Opts.Trace {
+			return "", false
+		}
+		return fmt.Sprintf("baseline|%s|%s|%dx%d cap=%d|k=%d|phys%+v",
+			s.App, s.Algorithm, s.Rows, s.Cols, s.Capacity, s.Opts.LookAhead, s.Opts.Params), true
+	default:
+		return "", false
+	}
+}

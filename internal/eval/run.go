@@ -7,6 +7,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,7 +47,14 @@ type MusstiSpec struct {
 }
 
 // RunMussti compiles one application with MUSS-TI and packages the metrics.
+// It is RunMusstiContext with a background context.
 func RunMussti(spec MusstiSpec) (Measurement, error) {
+	return RunMusstiContext(context.Background(), spec)
+}
+
+// RunMusstiContext is RunMussti with cooperative cancellation: ctx aborts
+// the compile mid-flight within one scheduler step.
+func RunMusstiContext(ctx context.Context, spec MusstiSpec) (Measurement, error) {
 	c, err := bench.ByName(spec.App)
 	if err != nil {
 		return Measurement{}, err
@@ -63,7 +71,7 @@ func RunMussti(spec MusstiSpec) (Measurement, error) {
 			return Measurement{}, err
 		}
 	}
-	res, err := core.Compile(c, d, spec.Opts)
+	res, err := core.CompileContext(ctx, c, d, spec.Opts)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("eval: %s: %w", spec.App, err)
 	}
@@ -95,8 +103,14 @@ type BaselineSpec struct {
 	Opts      baseline.Options
 }
 
-// RunBaseline compiles one application with a grid baseline.
+// RunBaseline compiles one application with a grid baseline. It is
+// RunBaselineContext with a background context.
 func RunBaseline(spec BaselineSpec) (Measurement, error) {
+	return RunBaselineContext(context.Background(), spec)
+}
+
+// RunBaselineContext is RunBaseline with cooperative cancellation.
+func RunBaselineContext(ctx context.Context, spec BaselineSpec) (Measurement, error) {
 	c, err := bench.ByName(spec.App)
 	if err != nil {
 		return Measurement{}, err
@@ -105,7 +119,7 @@ func RunBaseline(spec BaselineSpec) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	res, err := baseline.Compile(spec.Algorithm, c, g, spec.Opts)
+	res, err := baseline.CompileContext(ctx, spec.Algorithm, c, g, spec.Opts)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("eval: %s/%s: %w", spec.App, spec.Algorithm, err)
 	}

@@ -2,10 +2,14 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"mussti/internal/core"
 )
 
 // This file is the concurrent measurement runner. Every experiment in this
@@ -16,6 +20,11 @@ import (
 // so the renderer consumes them in exactly the order the old sequential
 // loops produced them and the rendered tables are byte-identical to the
 // sequential output at any worker count.
+//
+// The runner threads its context into every compile (cancellation aborts a
+// measurement mid-flight, not just between measurements), dedupes identical
+// measurement points across experiments through a shared Memo, and can
+// attach per-job progress observers.
 
 // Job is one independent measurement: exactly one of Mussti or Baseline is
 // set. Jobs share no mutable state, so any number may run concurrently.
@@ -24,16 +33,34 @@ type Job struct {
 	Baseline *BaselineSpec
 }
 
-// run executes the measurement this job describes.
-func (j Job) run() (Measurement, error) {
+// run executes the measurement this job describes. ctx cancellation aborts
+// the compile within one scheduler step.
+func (j Job) run(ctx context.Context) (Measurement, error) {
 	switch {
 	case j.Mussti != nil:
-		return RunMussti(*j.Mussti)
+		return RunMusstiContext(ctx, *j.Mussti)
 	case j.Baseline != nil:
-		return RunBaseline(*j.Baseline)
+		return RunBaselineContext(ctx, *j.Baseline)
 	default:
 		return Measurement{}, fmt.Errorf("eval: empty job")
 	}
+}
+
+// withObserver returns a copy of the job with obs attached to its compile
+// options; the original job (and its spec) stays untouched, so cache keys
+// and replans are unaffected.
+func (j Job) withObserver(obs core.Observer) Job {
+	switch {
+	case j.Mussti != nil:
+		s := *j.Mussti
+		s.Opts.Observer = obs
+		j.Mussti = &s
+	case j.Baseline != nil:
+		s := *j.Baseline
+		s.Opts.Observer = obs
+		j.Baseline = &s
+	}
+	return j
 }
 
 // Plan is a decomposed experiment: the measurement jobs in deterministic
@@ -47,7 +74,9 @@ type Plan struct {
 	// Serial forces sequential in-place execution even when a Runner is
 	// supplied. Set it on experiments whose rendered cells are wall-clock
 	// measurements (Fig. 10/11 print CompileTime): concurrent neighbours
-	// would contend for CPU and distort the numbers being reported.
+	// would contend for CPU and distort the numbers being reported, and a
+	// cache hit would report another experiment's timing — so Serial plans
+	// also bypass the measurement cache.
 	Serial bool
 }
 
@@ -87,20 +116,25 @@ func (r *Results) Take(n int) []Measurement {
 // Runner executes job lists over a bounded worker pool. The pool bound is a
 // semaphore shared by every Run call on the same Runner, so concurrent
 // experiments (the CLI's all-experiments mode) stay within one global
-// concurrency budget instead of multiplying it.
+// concurrency budget. Runs on the same Runner also share its measurement
+// cache: identical (application, compiler, device config, options) points
+// across experiments compile exactly once per process.
 type Runner struct {
-	workers int
-	sem     chan struct{}
+	workers  int
+	sem      chan struct{}
+	memo     *Memo
+	progress *progressSink
 }
 
 // NewRunner returns a runner with the given concurrency; workers <= 0 means
-// runtime.GOMAXPROCS(0). A nil *Runner is valid everywhere one is accepted
-// and means strictly sequential in-place execution.
+// runtime.GOMAXPROCS(0). The cross-experiment measurement cache starts
+// enabled; DisableCache turns it off. A nil *Runner is valid everywhere one
+// is accepted and means strictly sequential, uncached in-place execution.
 func NewRunner(workers int) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{workers: workers, sem: make(chan struct{}, workers)}
+	return &Runner{workers: workers, sem: make(chan struct{}, workers), memo: NewMemo()}
 }
 
 // Workers reports the pool size.
@@ -111,14 +145,63 @@ func (r *Runner) Workers() int {
 	return r.workers
 }
 
+// DisableCache turns the cross-experiment measurement cache off: every job
+// compiles from scratch. Rendered output is byte-identical either way; only
+// the work performed changes.
+func (r *Runner) DisableCache() { r.memo = nil }
+
+// CacheStats reports the measurement cache's hit and miss counters (misses
+// are actual compilations). Zeros when the cache is disabled or the runner
+// is nil.
+func (r *Runner) CacheStats() (hits, misses int64) {
+	if r == nil || r.memo == nil {
+		return 0, 0
+	}
+	return r.memo.Stats()
+}
+
+// SetProgress attaches a progress sink: every job run on this runner emits
+// throttled per-job tick lines (gates scheduled, shuttles, evictions) to w.
+// Call it before Run; w must tolerate concurrent jobs' interleaved lines
+// (the sink serialises writes).
+func (r *Runner) SetProgress(w io.Writer) { r.progress = newProgressSink(w) }
+
+// runJob executes one job with the runner's cache and progress layers
+// applied.
+func (r *Runner) runJob(ctx context.Context, j Job) (Measurement, error) {
+	var prog *jobProgress
+	exec := j
+	if r.progress != nil {
+		prog = r.progress.job(j.label())
+		exec = j.withObserver(prog)
+	}
+	var m Measurement
+	var err error
+	compiled := true
+	if key, ok := j.cacheKey(); ok && r.memo != nil {
+		compiled = false
+		m, err = r.memo.Do(ctx, key, func() (Measurement, error) {
+			compiled = true
+			return exec.run(ctx)
+		})
+	} else {
+		m, err = exec.run(ctx)
+	}
+	if prog != nil && err == nil {
+		prog.finish(!compiled)
+	}
+	return m, err
+}
+
 // Run executes all jobs and returns their measurements in job order. On
-// failure it cancels the jobs that have not started and returns the error
-// of the lowest-indexed failed job — exactly the error a sequential loop
-// surfaces first. (Workers claim jobs in index order and a claimed job
-// always runs, so every job below the first failure has completed by the
-// time Run returns.) A cancelled ctx aborts promptly between jobs — a
-// measurement already compiling runs to completion — and surfaces
-// ctx.Err().
+// failure it cancels the rest of the run — aborting in-flight compiles and
+// skipping unclaimed jobs — and returns the error of the lowest-indexed job
+// that reported a real failure. (Unlike PR 1's between-jobs cancellation, a
+// lower-indexed in-flight job may now be interrupted before its own failure
+// surfaces, so on multi-failure runs the reported error can differ from the
+// strictly sequential one; successful runs are unaffected.) A cancelled ctx
+// aborts promptly — in-flight compiles stop within one scheduler step — and
+// surfaces ctx.Err().
 func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Measurement, error) {
 	if r == nil {
 		return runSequential(ctx, jobs)
@@ -126,7 +209,7 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Measurement, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ms := make([]Measurement, len(jobs))
-	errs := make([]error, len(jobs)) // only real job errors; skips stay nil
+	errs := make([]error, len(jobs)) // only real job errors; cancellations stay nil
 	var next, done atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < min(r.workers, len(jobs)); w++ {
@@ -152,17 +235,19 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Measurement, error) {
 					<-r.sem
 					return
 				}
-				// No ctx check between claim and run: a claimed job always
-				// executes, which is what makes the first-error guarantee
-				// deterministic.
-				m, err := jobs[i].run()
-				if err != nil {
-					errs[i] = err
-					cancel() // skip jobs that have not been claimed yet
-				} else {
+				m, err := r.runJob(ctx, jobs[i])
+				switch {
+				case err == nil:
 					ms[i] = m
+					done.Add(1)
+				case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+					// The compile was interrupted by cancellation, not by a
+					// failure of its own; the final ctx.Err() return covers
+					// it.
+				default:
+					errs[i] = err
+					cancel() // abort in-flight jobs, skip unclaimed ones
 				}
-				done.Add(1)
 				<-r.sem
 			}
 		}()
@@ -174,21 +259,22 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Measurement, error) {
 		}
 	}
 	if int(done.Load()) < len(jobs) {
-		// Only a cancelled ctx can leave jobs unclaimed without an error.
+		// Only a cancelled ctx can leave jobs unfinished without an error.
 		return nil, ctx.Err()
 	}
 	return ms, nil
 }
 
 // runSequential is the nil-Runner path: jobs run in order on the calling
-// goroutine, exactly like the pre-runner harness.
+// goroutine, exactly like the pre-runner harness (uncached, unobserved —
+// ctx still interrupts a compile mid-flight).
 func runSequential(ctx context.Context, jobs []Job) ([]Measurement, error) {
 	ms := make([]Measurement, len(jobs))
 	for i, j := range jobs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		m, err := j.run()
+		m, err := j.run(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -198,27 +284,35 @@ func runSequential(ctx context.Context, jobs []Job) ([]Measurement, error) {
 }
 
 // Execute runs the plan's jobs on r (nil = sequential) and renders the
-// results. A renderer that consumes fewer measurements than the plan
-// enqueued is an error — the planner/renderer loops have drifted apart and
-// the rendered columns can no longer be trusted (over-consumption panics
-// in Results.Next).
+// results.
 func (p *Plan) Execute(ctx context.Context, r *Runner) (string, error) {
+	out, _, err := p.ExecuteCollect(ctx, r)
+	return out, err
+}
+
+// ExecuteCollect is Execute, additionally returning the structured
+// measurements in job order — the rows behind the rendered text, for sinks
+// (CSV export) that want data instead of scraped tables. A renderer that
+// consumes fewer measurements than the plan enqueued is an error — the
+// planner/renderer loops have drifted apart and the rendered columns can no
+// longer be trusted (over-consumption panics in Results.Next).
+func (p *Plan) ExecuteCollect(ctx context.Context, r *Runner) (string, []Measurement, error) {
 	if p.Serial {
 		r = nil
 	}
 	ms, err := r.Run(ctx, p.Jobs)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	res := &Results{ms: ms}
 	out, err := p.Render(res)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	if res.i != len(res.ms) {
-		return "", fmt.Errorf("eval: renderer consumed %d of %d measurements", res.i, len(res.ms))
+		return "", nil, fmt.Errorf("eval: renderer consumed %d of %d measurements", res.i, len(res.ms))
 	}
-	return out, nil
+	return out, ms, nil
 }
 
 // runPlan builds and sequentially executes a plan — the implementation

@@ -164,6 +164,19 @@ func Compile(c *Circuit, d *Device, opts Options) (*Result, error) {
 	return core.Compile(c, d, opts)
 }
 
+// CompileContext is Compile with cooperative cancellation: the scheduling
+// loops check ctx at every frontier step, so a cancelled or expired context
+// aborts a long compile within one scheduler step and surfaces ctx.Err().
+func CompileContext(ctx context.Context, c *Circuit, d *Device, opts Options) (*Result, error) {
+	return core.CompileContext(ctx, c, d, opts)
+}
+
+// Observer receives per-step progress callbacks (gates scheduled, shuttles,
+// evictions, inserted SWAPs) from a running compilation — MUSS-TI or
+// baseline. Attach one via Options.Observer / BaselineOptions.Observer; it
+// never changes the schedule.
+type Observer = core.Observer
+
 // ScheduleOp is one timed entry of a recorded schedule.
 type ScheduleOp = sim.Op
 
@@ -207,6 +220,12 @@ func CompileBaseline(algo BaselineAlgorithm, c *Circuit, g *Grid, opts BaselineO
 	return baseline.Compile(algo, c, g, opts)
 }
 
+// CompileBaselineContext is CompileBaseline with cooperative cancellation,
+// mirroring CompileContext.
+func CompileBaselineContext(ctx context.Context, algo BaselineAlgorithm, c *Circuit, g *Grid, opts BaselineOptions) (*BaselineResult, error) {
+	return baseline.CompileContext(ctx, algo, c, g, opts)
+}
+
 // Experiment harness: regenerate the paper's tables and figures.
 type ExperimentInfo = eval.Experiment
 
@@ -245,4 +264,25 @@ func RunExperimentContext(ctx context.Context, id string, r *Runner) (string, er
 		return "", err
 	}
 	return e.RunContext(ctx, r)
+}
+
+// Measurement is one structured (application, compiler, device) data point
+// of the experiment harness.
+type Measurement = eval.Measurement
+
+// RunExperimentCollect is RunExperimentContext, additionally returning the
+// experiment's structured Measurement rows in paper order — the data behind
+// the rendered text, for CSV export and other sinks.
+func RunExperimentCollect(ctx context.Context, id string, r *Runner) (string, []Measurement, error) {
+	e, err := eval.ByID(id)
+	if err != nil {
+		return "", nil, err
+	}
+	return e.CollectContext(ctx, r)
+}
+
+// WriteMeasurementsCSV writes measurements as CSV with a header row, the
+// interchange format for plotting the figures outside Go.
+func WriteMeasurementsCSV(w io.Writer, ms []Measurement) error {
+	return eval.WriteMeasurementsCSV(w, ms)
 }

@@ -1,7 +1,9 @@
 package mussti_test
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -123,5 +125,65 @@ func TestPublicDeviceLevels(t *testing.T) {
 	}
 	if mussti.LevelOptical <= mussti.LevelStorage {
 		t.Error("level ordering broken")
+	}
+}
+
+// tickObserver counts public-API observer callbacks.
+type tickObserver struct{ gates, moves int }
+
+func (o *tickObserver) GateScheduled(done, total int) { o.gates = done }
+func (o *tickObserver) Shuttle(q, from, to int)       { o.moves++ }
+func (o *tickObserver) Eviction(victim, from, to int) { o.moves++ }
+func (o *tickObserver) SwapInserted(a, b int)         {}
+
+func TestPublicCompileContextAndObserver(t *testing.T) {
+	c := mussti.Benchmark("QFT_n32")
+	dev := mussti.NewDevice(mussti.DeviceConfigFor(c.NumQubits))
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mussti.CompileContext(cancelled, c, dev, mussti.DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	obs := &tickObserver{}
+	opts := mussti.DefaultOptions()
+	opts.Observer = obs
+	if _, err := mussti.CompileContext(context.Background(), c, dev, opts); err != nil {
+		t.Fatal(err)
+	}
+	if obs.gates == 0 {
+		t.Error("observer saw no gates")
+	}
+
+	g, err := mussti.NewGrid(2, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mussti.CompileBaselineContext(cancelled, mussti.BaselineDai, c, g, mussti.BaselineOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("baseline err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPublicRunExperimentCollectCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short")
+	}
+	out, ms, err := mussti.RunExperimentCollect(context.Background(), "table2", mussti.NewRunner(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 2") {
+		t.Error("table2 output malformed")
+	}
+	if len(ms) == 0 {
+		t.Fatal("no measurements collected")
+	}
+	var buf bytes.Buffer
+	if err := mussti.WriteMeasurementsCSV(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(ms)+1 {
+		t.Errorf("csv has %d lines, want %d rows + header", lines, len(ms))
 	}
 }
