@@ -1,6 +1,9 @@
 // Command experiments regenerates the tables and figures of the MUSS-TI
 // paper (MICRO 2025). Without flags it runs everything in paper order;
-// -exp selects one ("table2", "fig6", ... "fig13"), -list enumerates them.
+// -exp selects one ("table2", "fig6", ... "fig13"), -list enumerates the
+// registered compilers and the experiment IDs. -compilers=a,b restricts an
+// experiment to a subset of the registered compilers — or widens it to an
+// out-of-tree compiler registered via mussti.RegisterCompiler.
 // Measurements fan out over a worker pool by default (-parallel=false for
 // strictly sequential runs, -j to pin the worker count); the worker count
 // never changes the rendered tables. Identical measurement points shared by
@@ -11,6 +14,7 @@
 // mode, where concurrent neighbour experiments still compete for CPU.
 //
 //	go run ./cmd/experiments -exp table2
+//	go run ./cmd/experiments -exp table2 -compilers=dai,mussti
 //	go run ./cmd/experiments -j 4 -progress     # full evaluation, tick lines
 //	go run ./cmd/experiments -csv results.csv   # structured rows to a file
 //	go run ./cmd/experiments -parallel=false
@@ -22,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"mussti"
@@ -29,7 +34,8 @@ import (
 
 func main() {
 	exp := flag.String("exp", "", "experiment ID to run (default: all)")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
+	list := flag.Bool("list", false, "list registered compilers and experiment IDs, then exit")
+	compilers := flag.String("compilers", "", "comma-separated registry names; experiments measure only these compilers (default: each experiment's paper set)")
 	parallel := flag.Bool("parallel", true, "fan measurements (and, in all-experiments mode, whole experiments) out over a worker pool")
 	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	cache := flag.Bool("cache", true, "dedupe identical measurement points across experiments (needs -parallel)")
@@ -38,10 +44,32 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		fmt.Println("registered compilers:")
+		for _, c := range mussti.Compilers() {
+			fmt.Printf("  %-8s %s\n", c.Name(), mussti.CompilerLabel(c))
+		}
+		fmt.Println("\nexperiments:")
 		for _, e := range mussti.ExperimentList() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+			fmt.Printf("  %-8s %s\n", e.ID, e.Description)
 		}
 		return
+	}
+
+	// -compilers validates up front, so a typo fails with the registry's
+	// name list instead of surfacing mid-run from inside an experiment.
+	var comps []string
+	if *compilers != "" {
+		for _, name := range strings.Split(*compilers, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, err := mussti.LookupCompiler(name); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+			comps = append(comps, name)
+		}
 	}
 
 	// Interrupt cancels the run mid-measurement: in-flight compiles abort
@@ -72,7 +100,7 @@ func main() {
 	// hands back its structured measurement rows for the CSV sink.
 	run := func(e mussti.ExperimentInfo) (string, []mussti.Measurement, error) {
 		start := time.Now()
-		out, ms, err := e.CollectContext(ctx, runner)
+		out, ms, err := e.CollectWith(ctx, runner, comps)
 		if err != nil {
 			return "", nil, fmt.Errorf("%s: %w", e.ID, err)
 		}

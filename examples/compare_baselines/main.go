@@ -1,13 +1,16 @@
-// Compare baselines: run one application through all four compilers of the
-// paper's Table 2 — the MQT-style dedicated-zone shuttler [70], the greedy
-// Murali et al. grid compiler [55], the Dai et al. advanced shuttle
-// strategies [13], and MUSS-TI — on the same 2×3 grid structure, and print
-// the comparison row.
+// Compare baselines: run one application through every compiler in the
+// registry on the same 2×3 grid structure and print the comparison rows, in
+// registration order — MUSS-TI first, then the paper's three baselines: the
+// greedy Murali et al. grid compiler [55], the Dai et al. advanced shuttle
+// strategies [13], and the MQT-style dedicated-zone shuttler [70].
+// Registering another compiler (mussti.RegisterCompiler) adds a row with no
+// change here.
 //
 //	go run ./examples/compare_baselines [Application_nNN]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -33,23 +36,23 @@ func main() {
 	fmt.Printf("%s on a %dx%d QCCD grid (trap capacity %d)\n\n", app, rows, cols, capacity)
 	fmt.Printf("%-12s  %9s  %12s  %12s\n", "compiler", "shuttles", "exec (µs)", "fidelity")
 
-	for _, algo := range []mussti.BaselineAlgorithm{
-		mussti.BaselineMQT, mussti.BaselineMurali, mussti.BaselineDai,
-	} {
-		res, err := mussti.CompileBaseline(algo, c, g, mussti.BaselineOptions{})
+	// Every registered compiler accepts the same (circuit, target, config)
+	// triple; a nil config means each compiler's own paper defaults (for
+	// MUSS-TI: SABRE mapping, LRU replacement, executable-first selection).
+	// Compilers that declare themselves incompatible with the grid target
+	// (say, an out-of-tree EML-only registration) are skipped, not fatal.
+	ctx := context.Background()
+	for _, comp := range mussti.Compilers() {
+		if !mussti.SupportsTarget(comp, g) {
+			fmt.Printf("%-12s  (skipped: does not target the QCCD grid)\n", mussti.CompilerLabel(comp))
+			continue
+		}
+		res, err := comp.Compile(ctx, c, g, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		m := res.Metrics
-		fmt.Printf("%-12s  %9d  %12.0f  %12.3g\n", algo, m.Shuttles, m.MakespanUS, m.Fidelity.Value())
+		fmt.Printf("%-12s  %9d  %12.0f  %12.3g\n",
+			mussti.CompilerLabel(comp), m.Shuttles, m.MakespanUS, m.Fidelity.Value())
 	}
-
-	// MUSS-TI schedules the same grid through its multi-level scheduler
-	// (LRU replacement, executable-first selection, SABRE mapping).
-	res, err := mussti.Compile(c, g.Device(), mussti.DefaultOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
-	m := res.Metrics
-	fmt.Printf("%-12s  %9d  %12.0f  %12.3g\n", "MUSS-TI", m.Shuttles, m.MakespanUS, m.Fidelity.Value())
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,9 +22,15 @@ func main() {
 	// through the photonic entanglement module.
 	dev := mussti.NewDevice(mussti.DeviceConfigFor(c.NumQubits))
 
-	// The paper's headline configuration: SABRE initial mapping plus
-	// look-ahead SWAP insertion (k=8, T=4).
-	res, err := mussti.Compile(c, dev, mussti.DefaultOptions())
+	// Compilers are registry values; "mussti" is the paper's compiler.
+	// A nil config means its headline configuration — SABRE initial
+	// mapping plus look-ahead SWAP insertion (k=8, T=4); tweak knobs with
+	// mussti.NewCompileConfig(mussti.WithLookAhead(6), ...).
+	comp, err := mussti.LookupCompiler("mussti")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := comp.Compile(context.Background(), c, dev, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -89,6 +89,13 @@ type Device struct {
 	// two same-module zones (used by the grid adapter, whose traps live on
 	// a lattice rather than a segment).
 	DistUM func(a, b int) float64
+	// DistKey identifies the DistUM geometry in CacheKey: a function value
+	// cannot be rendered, so builders that set DistUM should set DistKey to
+	// a deterministic description of the geometry (the grid adapter uses
+	// the source grid's CacheKey). When left empty, CacheKey digests the
+	// full intra-module distance matrix instead — correct, but O(zones²)
+	// calls into DistUM per CacheKey call.
+	DistKey string
 }
 
 // Config describes an EML-QCCD build.

@@ -93,7 +93,7 @@ func (g *Grid) Distance(a, b int) int {
 // no fiber gates or SWAP insertion arise, and MUSS-TI's advantage comes
 // from scheduling alone.
 func (g *Grid) Device() *Device {
-	d := &Device{TrapCapacity: g.Capacity, ZonePitchUM: g.TrapPitchUM}
+	d := &Device{TrapCapacity: g.Capacity, ZonePitchUM: g.TrapPitchUM, DistKey: g.CacheKey()}
 	mod := Module{ID: 0, MaxIons: g.TotalCapacity()}
 	for t := 0; t < g.NumTraps(); t++ {
 		z := Zone{ID: t, Module: 0, Level: LevelOperation, Capacity: g.Capacity, Pos: t}

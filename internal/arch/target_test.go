@@ -1,0 +1,74 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTargetQubitCapacity(t *testing.T) {
+	var targets = []struct {
+		tgt  Target
+		want int
+	}{
+		{MustNew(DefaultConfig(128)), MustNew(DefaultConfig(128)).Capacity()},
+		{MustNewGrid(2, 3, 8), 48},
+	}
+	for _, c := range targets {
+		if got := c.tgt.QubitCapacity(); got != c.want {
+			t.Errorf("%T.QubitCapacity() = %d, want %d", c.tgt, got, c.want)
+		}
+	}
+}
+
+func TestTargetCacheKeys(t *testing.T) {
+	// Equal machines yield equal keys; different machines must not collide.
+	if a, b := MustNewGrid(2, 3, 8).CacheKey(), MustNewGrid(2, 3, 8).CacheKey(); a != b {
+		t.Errorf("equal grids, different keys: %q vs %q", a, b)
+	}
+	keys := map[string]string{}
+	for name, tgt := range map[string]Target{
+		"grid-2x3-8":  MustNewGrid(2, 3, 8),
+		"grid-3x2-8":  MustNewGrid(3, 2, 8),
+		"grid-2x3-12": MustNewGrid(2, 3, 12),
+		"eml-128":     MustNew(DefaultConfig(128)),
+		"eml-256":     MustNew(DefaultConfig(256)),
+	} {
+		k := tgt.CacheKey()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("%s and %s collide on key %q", prev, name, k)
+		}
+		keys[k] = name
+	}
+	// The grid's Device adapter stamps the source grid's geometry into the
+	// key, so it aliases neither a segment-distance device of the same
+	// shape nor another grid with the same zone structure but different
+	// distance geometry (2x3 vs 3x2: same six traps, different hop counts).
+	if k := MustNewGrid(2, 3, 8).Device().CacheKey(); !strings.Contains(k, "customdist") {
+		t.Errorf("grid-adapted device key lacks customdist marker: %q", k)
+	}
+	if a, b := MustNewGrid(2, 3, 8).Device().CacheKey(), MustNewGrid(3, 2, 8).Device().CacheKey(); a == b {
+		t.Errorf("devices with different grid geometry share key %q", a)
+	}
+	// Even without a DistKey, custom-distance devices differing only in
+	// geometry must not collide: the key falls back to digesting the
+	// distance matrix itself.
+	d1, d2 := MustNewGrid(2, 3, 8).Device(), MustNewGrid(3, 2, 8).Device()
+	d1.DistKey, d2.DistKey = "", ""
+	if a, b := d1.CacheKey(), d2.CacheKey(); a == b {
+		t.Errorf("unkeyed custom-distance devices share key %q", a)
+	}
+	if a, b := d1.CacheKey(), d1.CacheKey(); a != b {
+		t.Errorf("distance-matrix digest not deterministic: %q vs %q", a, b)
+	}
+}
+
+func TestConfigCacheKeyDistinguishes(t *testing.T) {
+	a, b := DefaultConfig(128), DefaultConfig(128)
+	if a.CacheKey() != b.CacheKey() {
+		t.Error("equal configs, different keys")
+	}
+	b.OpticalCapacity = 4
+	if a.CacheKey() == b.CacheKey() {
+		t.Error("different configs share a key")
+	}
+}

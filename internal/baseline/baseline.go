@@ -62,15 +62,32 @@ func (a Algorithm) String() string {
 	return "unknown"
 }
 
-// Result mirrors core.Result for the baseline compilers.
-type Result struct {
-	Metrics     sim.Metrics
-	CompileTime time.Duration
-	// Trace is the op-level schedule when Options.Trace was set.
-	Trace []sim.Op
+// RegistryName is the algorithm's compiler-registry identifier ("murali",
+// "dai", "mqt") — the name LookupCompiler resolves, as distinct from the
+// paper's table label that String returns.
+func (a Algorithm) RegistryName() string {
+	switch a {
+	case Murali:
+		return "murali"
+	case Dai:
+		return "dai"
+	case MQT:
+		return "mqt"
+	}
+	return ""
 }
 
+// Result is the outcome of a baseline compilation. The baselines report
+// through the same type as MUSS-TI (metrics, compile time and trace; the
+// scheduler-stats and mapping fields stay zero), so harnesses handle one
+// result shape for every compiler.
+type Result = core.Result
+
 // Options configures a baseline run.
+//
+// Deprecated: Options predates the unified core.CompileConfig; its fields
+// are the subset of CompileConfig the baselines read. New code should build
+// a CompileConfig and go through the compiler registry.
 type Options struct {
 	// Params is the physics model; zero value means physics.Default().
 	Params physics.Params
@@ -82,6 +99,30 @@ type Options struct {
 	// callbacks as the MUSS-TI compiler (gates scheduled, per-hop
 	// shuttles, evictions). It never changes the schedule.
 	Observer core.Observer
+}
+
+// Config lifts the legacy Options into the unified CompileConfig.
+func (o Options) Config() core.CompileConfig {
+	return core.CompileConfig{
+		Params:    o.Params,
+		LookAhead: o.LookAhead,
+		Trace:     o.Trace,
+		Observer:  o.Observer,
+	}
+}
+
+// fromConfig projects the unified CompileConfig onto the fields the
+// baselines read; the MUSS-TI-specific knobs are ignored by design.
+func fromConfig(cfg *core.CompileConfig) Options {
+	if cfg == nil {
+		return Options{}
+	}
+	return Options{
+		Params:    cfg.Params,
+		LookAhead: cfg.LookAhead,
+		Trace:     cfg.Trace,
+		Observer:  cfg.Observer,
+	}
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,165 @@
+package eval
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestCollectWithRestrictsCompilers: table2 restricted to two compilers
+// renders only their columns, in the requested order, and measures nothing
+// else.
+func TestCollectWithRestrictsCompilers(t *testing.T) {
+	e, err := ByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ms, err := e.CollectWith(context.Background(), nil, []string{"dai", "mussti"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Shut[13]", "ShutOurs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("restricted table2 missing column %q:\n%s", want, out)
+		}
+	}
+	for _, unwanted := range []string{"Shut[55]", "Shut[70]"} {
+		if strings.Contains(out, unwanted) {
+			t.Errorf("restricted table2 still renders %q:\n%s", unwanted, out)
+		}
+	}
+	for _, m := range ms {
+		if m.Compiler != "QCCD-Dai" && m.Compiler != "MUSS-TI" {
+			t.Errorf("unexpected compiler measured: %q", m.Compiler)
+		}
+	}
+	// Measurements alternate dai, mussti in selection order.
+	if len(ms) < 2 || ms[0].Compiler != "QCCD-Dai" || ms[1].Compiler != "MUSS-TI" {
+		t.Errorf("selection order not honoured: %q, %q", ms[0].Compiler, ms[1].Compiler)
+	}
+}
+
+// TestCollectWithUnknownCompiler: an unregistered name fails up front with
+// the registry's error instead of mid-run.
+func TestCollectWithUnknownCompiler(t *testing.T) {
+	e, err := ByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.CollectWith(context.Background(), nil, []string{"nope"}); err == nil {
+		t.Error("unknown compiler accepted")
+	}
+}
+
+// TestCollectWithEmptyIsDefault: a nil selection is the experiment's
+// default set — the byte-identical paper rendering.
+func TestCollectWithEmptyIsDefault(t *testing.T) {
+	e, err := ByID("lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _, err := e.CollectContext(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, _, err := e.CollectWith(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != sel {
+		t.Error("CollectWith(nil) differs from CollectContext")
+	}
+}
+
+// TestSweepSkipsGridOnlyCompilers: an EML-device sweep restricted to a
+// selection containing a grid-only baseline still renders the compatible
+// compilers' sections and notes the skip, instead of failing the whole
+// experiment mid-run.
+func TestSweepSkipsGridOnlyCompilers(t *testing.T) {
+	e, err := ByID("lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ms, err := e.CollectWith(context.Background(), nil, []string{"mussti", "dai"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(MUSS-TI, trivial mapping)") {
+		t.Errorf("compatible compiler's section missing:\n%s", out)
+	}
+	if !strings.Contains(out, "QCCD-Dai skipped") {
+		t.Errorf("grid-only compiler not noted as skipped:\n%s", out)
+	}
+	for _, m := range ms {
+		if m.Compiler != "MUSS-TI" {
+			t.Errorf("skipped compiler still measured: %q", m.Compiler)
+		}
+	}
+}
+
+// TestFig6SummaryNeedsBothSides: the shuttle-reduction line compares
+// MUSS-TI against the best baseline, so a one-sided selection omits it.
+func TestFig6SummaryNeedsBothSides(t *testing.T) {
+	p, err := fig6Plan("small", []string{"mussti"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := p.ExecuteCollect(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "average shuttle reduction") {
+		t.Errorf("one-sided fig6 still prints the reduction summary:\n%s", out)
+	}
+	full, err := fig6Plan("small", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outFull, _, err := full.ExecuteCollect(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(outFull, "average shuttle reduction") {
+		t.Errorf("default fig6 lost the reduction summary:\n%s", outFull)
+	}
+}
+
+// TestSweepSelectionRendersPerCompilerSections: selecting the sweep's
+// default compiler explicitly goes through the per-compiler section
+// machinery and must still render the paper's labelled title.
+func TestSweepSelectionRendersPerCompilerSections(t *testing.T) {
+	e, err := ByID("lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := e.CollectWith(context.Background(), nil, []string{"mussti"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(MUSS-TI, trivial mapping)") {
+		t.Errorf("sweep section title missing compiler label:\n%s", out)
+	}
+}
+
+// TestSelectionDeduplicates: a duplicated name in the selection collapses
+// to one column set and one measurement per point.
+func TestSelectionDeduplicates(t *testing.T) {
+	e, err := ByID("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, msOnce, err := e.CollectWith(context.Background(), nil, []string{"mussti"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, msTwice, err := e.CollectWith(context.Background(), nil, []string{"mussti", "mussti"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once != twice {
+		t.Errorf("duplicate selection changed output:\n--- once ---\n%s--- twice ---\n%s", once, twice)
+	}
+	if len(msOnce) != len(msTwice) {
+		t.Errorf("duplicate selection measured %d points, want %d", len(msTwice), len(msOnce))
+	}
+}

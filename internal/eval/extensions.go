@@ -20,12 +20,12 @@ import (
 //     zones (2..16 ports).
 func init() {
 	extensions = []Experiment{
-		{ID: "lru", Description: "Extension: replacement-policy ablation (LRU vs FIFO/random/Belady)",
-			Run: LRUAblation, Plan: lruPlan},
-		{ID: "ports", Description: "Extension: optical-port-limit sweep (2..16 ports per module)",
-			Run: PortSweep, Plan: portsPlan},
-		{ID: "routing", Description: "Extension: routing look-ahead attraction on/off",
-			Run: RoutingAblation, Plan: routingPlan},
+		experiment("lru", "Extension: replacement-policy ablation (LRU vs FIFO/random/Belady)",
+			LRUAblation, lruPlan),
+		experiment("ports", "Extension: optical-port-limit sweep (2..16 ports per module)",
+			PortSweep, portsPlan),
+		experiment("routing", "Extension: routing look-ahead attraction on/off",
+			RoutingAblation, routingPlan),
 	}
 }
 
@@ -39,24 +39,31 @@ var lruPolicies = []core.ReplacementPolicy{
 
 // LRUAblation compares the conflict-handling policies on the medium suite,
 // reporting shuttles — the metric replacement directly controls.
-func LRUAblation() (string, error) { return runPlan(lruPlan) }
+func LRUAblation() (string, error) { return runPlan(planOf(lruPlan)) }
 
-func lruPlan() (*Plan, error) {
-	var jobs []Job
-	for _, app := range bench.MediumSuite() {
-		for _, pol := range lruPolicies {
-			jobs = append(jobs, Job{Mussti: &MusstiSpec{
-				App:  app,
-				Opts: core.Options{Mapping: core.MappingTrivial, Replacement: pol},
-			}})
-		}
+func lruPlan(sel []string) (*Plan, error) {
+	comps, err := resolveCompilers(sel, musstiDefault)
+	if err != nil {
+		return nil, err
 	}
-	render := func(res *Results) (string, error) {
+	jobsFor := func(name string) ([]Job, error) {
+		var js []Job
+		for _, app := range bench.MediumSuite() {
+			for _, pol := range lruPolicies {
+				js = append(js, Job{Spec: &CompileSpec{
+					App: app, Compiler: name,
+					Config: &core.CompileConfig{Mapping: core.MappingTrivial, Replacement: pol},
+				}})
+			}
+		}
+		return js, nil
+	}
+	renderFor := func(name string, res *Results) (string, error) {
 		header := []string{"Application"}
 		for _, p := range lruPolicies {
 			header = append(header, "shut("+p.String()+")")
 		}
-		tb := NewTable("LRU ablation — shuttle count by replacement policy (MUSS-TI, trivial mapping)", header...)
+		tb := NewTable(fmt.Sprintf("LRU ablation — shuttle count by replacement policy (%s, trivial mapping)", labelFor(name)), header...)
 		var lruExcess []float64
 		for _, app := range bench.MediumSuite() {
 			row := []any{app}
@@ -76,29 +83,33 @@ func lruPlan() (*Plan, error) {
 		fmt.Fprintf(&out, "LRU excess over clairvoyant Belady: %.1f%% (the paper's \"near-optimal\" claim)\n", mean(lruExcess))
 		return out.String(), nil
 	}
-	return &Plan{Jobs: jobs, Render: render}, nil
+	return perCompilerPlan(comps, jobsFor, renderFor)
 }
 
 // RoutingAblation compares zone selection with and without the look-ahead
 // attraction term on the small and medium suites (grid and EML): the term
 // is this implementation's refinement of the paper's multi-level rule, so
 // its contribution is measured rather than assumed.
-func RoutingAblation() (string, error) { return runPlan(routingPlan) }
+func RoutingAblation() (string, error) { return runPlan(planOf(routingPlan)) }
 
-func routingPlan() (*Plan, error) {
-	apps := append(append([]string{}, bench.SmallSuite()...), bench.MediumSuite()...)
-	var jobs []Job
-	for _, app := range apps {
-		with := core.DefaultOptions()
-		without := core.DefaultOptions()
-		without.DisableRoutingLookAhead = true
-		jobs = append(jobs,
-			Job{Mussti: &MusstiSpec{App: app, Opts: with}},
-			Job{Mussti: &MusstiSpec{App: app, Opts: without}},
-		)
+func routingPlan(sel []string) (*Plan, error) {
+	comps, err := resolveCompilers(sel, musstiDefault)
+	if err != nil {
+		return nil, err
 	}
-	render := func(res *Results) (string, error) {
-		tb := NewTable("Routing look-ahead ablation — shuttles with/without attraction (MUSS-TI)",
+	apps := append(append([]string{}, bench.SmallSuite()...), bench.MediumSuite()...)
+	jobsFor := func(name string) ([]Job, error) {
+		var js []Job
+		for _, app := range apps {
+			js = append(js,
+				Job{Spec: &CompileSpec{App: app, Compiler: name, Config: core.NewCompileConfig()}},
+				Job{Spec: &CompileSpec{App: app, Compiler: name, Config: core.NewCompileConfig(core.WithRoutingLookAhead(false))}},
+			)
+		}
+		return js, nil
+	}
+	renderFor := func(name string, res *Results) (string, error) {
+		tb := NewTable(fmt.Sprintf("Routing look-ahead ablation — shuttles with/without attraction (%s)", labelFor(name)),
 			"Application", "with", "without", "delta%")
 		for _, app := range apps {
 			mW, mWo := res.Next(), res.Next()
@@ -110,28 +121,35 @@ func routingPlan() (*Plan, error) {
 		}
 		return tb.String(), nil
 	}
-	return &Plan{Jobs: jobs, Render: render}, nil
+	return perCompilerPlan(comps, jobsFor, renderFor)
 }
 
 // PortSweep measures the cost of limiting the optical zone to a fixed
 // number of ion-photon ports on the medium suite.
-func PortSweep() (string, error) { return runPlan(portsPlan) }
+func PortSweep() (string, error) { return runPlan(planOf(portsPlan)) }
 
-func portsPlan() (*Plan, error) {
-	ports := []int{2, 4, 8, 16}
-	var jobs []Job
-	for _, app := range bench.MediumSuite() {
-		c, err := bench.ByName(app)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range ports {
-			cfg := arch.DefaultConfig(c.NumQubits)
-			cfg.OpticalCapacity = p
-			jobs = append(jobs, Job{Mussti: &MusstiSpec{App: app, Config: cfg, Opts: core.DefaultOptions()}})
-		}
+func portsPlan(sel []string) (*Plan, error) {
+	comps, err := resolveCompilers(sel, musstiDefault)
+	if err != nil {
+		return nil, err
 	}
-	render := func(res *Results) (string, error) {
+	ports := []int{2, 4, 8, 16}
+	jobsFor := func(name string) ([]Job, error) {
+		var js []Job
+		for _, app := range bench.MediumSuite() {
+			c, err := bench.ByName(app)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range ports {
+				cfg := arch.DefaultConfig(c.NumQubits)
+				cfg.OpticalCapacity = p
+				js = append(js, Job{Spec: &CompileSpec{App: app, Compiler: name, Arch: cfg}})
+			}
+		}
+		return js, nil
+	}
+	renderFor := func(name string, res *Results) (string, error) {
 		header := []string{"Application"}
 		for _, p := range ports {
 			header = append(header, fmt.Sprintf("fid(p=%d)", p))
@@ -139,7 +157,7 @@ func portsPlan() (*Plan, error) {
 		for _, p := range ports {
 			header = append(header, fmt.Sprintf("shut(p=%d)", p))
 		}
-		tb := NewTable("Optical-port sweep — fidelity and shuttles vs ports per module (MUSS-TI)", header...)
+		tb := NewTable(fmt.Sprintf("Optical-port sweep — fidelity and shuttles vs ports per module (%s)", labelFor(name)), header...)
 		for _, app := range bench.MediumSuite() {
 			fids := make([]any, 0, len(ports))
 			shuts := make([]any, 0, len(ports))
@@ -154,5 +172,5 @@ func portsPlan() (*Plan, error) {
 		}
 		return tb.String(), nil
 	}
-	return &Plan{Jobs: jobs, Render: render}, nil
+	return perCompilerPlan(comps, jobsFor, renderFor)
 }

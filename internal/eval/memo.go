@@ -6,6 +6,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"mussti/internal/arch"
+	"mussti/internal/circuit/bench"
+	"mussti/internal/core"
 )
 
 // This file is the cross-experiment measurement cache. Every experiment is
@@ -99,38 +103,49 @@ func (mo *Memo) Do(ctx context.Context, key string, fn func() (Measurement, erro
 }
 
 // cacheKey renders a Job's full configuration as a deterministic string
-// key, or ok=false when the job must not be cached (trace-recording runs).
-// The Observer option is deliberately excluded: observation never changes a
-// measurement.
+// key, or ok=false when the job must not be cached (trace-recording runs,
+// jobs that fail to resolve). All three spec styles normalise to the unified
+// CompileSpec first, so a legacy MusstiSpec job and a registry CompileSpec
+// job describing the same point share one cache entry.
 func (j Job) cacheKey() (key string, ok bool) {
-	switch {
-	case j.Mussti != nil:
-		s := j.Mussti
-		if s.Opts.Trace {
-			return "", false
-		}
-		dev := ""
-		if s.Grid != nil {
-			g := s.Grid
-			dev = fmt.Sprintf("grid{%dx%d cap=%d pitch=%g}", g.Rows, g.Cols, g.Capacity, g.TrapPitchUM)
-		} else {
-			// A zero Config resolves to arch.DefaultConfig(qubits), and the
-			// qubit count is a function of App — so keying the literal
-			// Config is sound.
-			dev = fmt.Sprintf("eml%+v", s.Config)
-		}
-		o := s.Opts
-		return fmt.Sprintf("mussti|%s|%s|map=%d swap=%t k=%d T=%d repl=%d nolook=%t|phys%+v",
-			s.App, dev, o.Mapping, o.SwapInsertion, o.LookAhead, o.SwapThreshold,
-			o.Replacement, o.DisableRoutingLookAhead, o.Params), true
-	case j.Baseline != nil:
-		s := j.Baseline
-		if s.Opts.Trace {
-			return "", false
-		}
-		return fmt.Sprintf("baseline|%s|%s|%dx%d cap=%d|k=%d|phys%+v",
-			s.App, s.Algorithm, s.Rows, s.Cols, s.Capacity, s.Opts.LookAhead, s.Opts.Params), true
-	default:
+	s, err := j.resolve()
+	if err != nil {
 		return "", false
 	}
+	return s.cacheKey()
+}
+
+// cacheKey is `compiler|app|target|config`, each part rendered
+// deterministically (see arch.Target.CacheKey and CompileConfig.CacheKey),
+// so keys are stable across processes — the property a shared or remote
+// measurement cache needs. The Observer is excluded by CompileConfig.CacheKey:
+// observation never changes a measurement.
+func (s CompileSpec) cacheKey() (key string, ok bool) {
+	comp, err := core.LookupCompiler(s.Compiler)
+	if err != nil {
+		return "", false
+	}
+	cfg := s.config(comp)
+	if cfg.Trace {
+		return "", false
+	}
+	target := ""
+	if s.Grid != nil {
+		target = s.Grid.CacheKey()
+	} else {
+		// A zero Arch resolves to arch.DefaultConfig(qubits), and the qubit
+		// count is a function of App — so keying the literal Arch config is
+		// sound. An Arch explicitly spelled as that same default normalises
+		// to the zero form first, so e.g. fig7's capacity-16 point and a
+		// zero-Arch default point of the same app share one cache entry
+		// (they are the identical measurement).
+		a := s.Arch
+		if a != (arch.Config{}) {
+			if c, err := bench.ByName(s.App); err == nil && a == arch.DefaultConfig(c.NumQubits) {
+				a = arch.Config{}
+			}
+		}
+		target = a.CacheKey()
+	}
+	return fmt.Sprintf("%s|%s|%s|%s", s.Compiler, s.App, target, cfg.CacheKey()), true
 }

@@ -221,7 +221,7 @@ func TestCacheOutputByteIdentical(t *testing.T) {
 			var text string
 			var err error
 			if id == "fig6small" {
-				p, perr := fig6Plan("small")
+				p, perr := fig6Plan("small", nil)
 				if perr != nil {
 					t.Fatal(perr)
 				}
@@ -244,11 +244,11 @@ func TestCacheOutputByteIdentical(t *testing.T) {
 	// Total jobs the two experiments enqueue, to assert "strictly fewer
 	// compilations than points measured".
 	totalJobs := 0
-	t2, err := table2Plan()
+	t2, err := table2Plan(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f6, err := fig6Plan("small")
+	f6, err := fig6Plan("small", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

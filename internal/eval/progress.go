@@ -94,14 +94,12 @@ func (p *jobProgress) finish(cached bool) {
 		time.Since(p.start).Round(time.Millisecond))
 }
 
-// label names a job for progress lines, e.g. "SQRT_n299/MUSS-TI".
+// label names a job for progress lines, e.g. "SQRT_n299/MUSS-TI". The
+// compiler part is the registry compiler's display label.
 func (j Job) label() string {
-	switch {
-	case j.Mussti != nil:
-		return j.Mussti.App + "/MUSS-TI"
-	case j.Baseline != nil:
-		return j.Baseline.App + "/" + j.Baseline.Algorithm.String()
-	default:
+	s, err := j.resolve()
+	if err != nil {
 		return "empty-job"
 	}
+	return s.App + "/" + labelFor(s.Compiler)
 }

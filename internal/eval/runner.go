@@ -26,41 +26,63 @@ import (
 // measurement points across experiments through a shared Memo, and can
 // attach per-job progress observers.
 
-// Job is one independent measurement: exactly one of Mussti or Baseline is
-// set. Jobs share no mutable state, so any number may run concurrently.
+// Job is one independent measurement: a registry-resolved Spec, or one of
+// the deprecated Mussti/Baseline spec types (converted internally). Exactly
+// one of the three is set. Jobs share no mutable state, so any number may
+// run concurrently.
 type Job struct {
+	Spec *CompileSpec
+	// Deprecated: Mussti/Baseline are the pre-registry spec types; set Spec
+	// in new code.
 	Mussti   *MusstiSpec
 	Baseline *BaselineSpec
+}
+
+// resolve normalises the job to the unified CompileSpec, whichever spec
+// style built it. Every consumer — execution, cache keys, progress labels —
+// goes through this one conversion, so the three spec styles cannot drift.
+func (j Job) resolve() (CompileSpec, error) {
+	switch {
+	case j.Spec != nil:
+		return *j.Spec, nil
+	case j.Mussti != nil:
+		return j.Mussti.spec(), nil
+	case j.Baseline != nil:
+		return j.Baseline.spec()
+	default:
+		return CompileSpec{}, fmt.Errorf("eval: empty job")
+	}
 }
 
 // run executes the measurement this job describes. ctx cancellation aborts
 // the compile within one scheduler step.
 func (j Job) run(ctx context.Context) (Measurement, error) {
-	switch {
-	case j.Mussti != nil:
-		return RunMusstiContext(ctx, *j.Mussti)
-	case j.Baseline != nil:
-		return RunBaselineContext(ctx, *j.Baseline)
-	default:
-		return Measurement{}, fmt.Errorf("eval: empty job")
+	s, err := j.resolve()
+	if err != nil {
+		return Measurement{}, err
 	}
+	return RunSpecContext(ctx, s)
 }
 
 // withObserver returns a copy of the job with obs attached to its compile
-// options; the original job (and its spec) stays untouched, so cache keys
-// and replans are unaffected.
+// configuration; the original job (and its spec) stays untouched, so cache
+// keys and replans are unaffected. Jobs that fail to resolve are returned
+// unchanged — the error surfaces when the job runs.
 func (j Job) withObserver(obs core.Observer) Job {
-	switch {
-	case j.Mussti != nil:
-		s := *j.Mussti
-		s.Opts.Observer = obs
-		j.Mussti = &s
-	case j.Baseline != nil:
-		s := *j.Baseline
-		s.Opts.Observer = obs
-		j.Baseline = &s
+	s, err := j.resolve()
+	if err != nil {
+		return j
 	}
-	return j
+	var cfg core.CompileConfig
+	if comp, err := core.LookupCompiler(s.Compiler); err == nil {
+		// One owner for the nil-Config resolution rule: CompileSpec.config.
+		cfg = s.config(comp)
+	} else if s.Config != nil {
+		cfg = *s.Config
+	}
+	cfg.Observer = obs
+	s.Config = &cfg
+	return Job{Spec: &s}
 }
 
 // Plan is a decomposed experiment: the measurement jobs in deterministic

@@ -2,18 +2,43 @@
 // multi-level shuttle-scheduling compiler for entanglement-module-linked
 // trapped-ion (EML-QCCD) devices, after Wu et al., MICRO 2025.
 //
+// Every compiler — MUSS-TI and the paper's three baselines — implements the
+// Compiler interface and lives in a process-wide registry under a stable
+// name ("mussti", "murali", "dai", "mqt"). A Compiler schedules a Circuit
+// onto any Target machine (an EML-QCCD *Device or a monolithic QCCD *Grid)
+// under one shared CompileConfig, and reports one unified *Result.
+//
 // A minimal session:
 //
 //	c := mussti.Benchmark("QFT_n32")              // or build a Circuit by hand
 //	dev := mussti.NewDevice(mussti.DeviceConfigFor(c.NumQubits))
-//	res, err := mussti.Compile(c, dev, mussti.DefaultOptions())
+//	comp, _ := mussti.LookupCompiler("mussti")
+//	res, err := comp.Compile(ctx, c, dev, nil)    // nil config = paper defaults
 //	fmt.Println(res.Metrics.Shuttles, res.Metrics.Fidelity.Log10())
+//
+// Tweak a knob with the functional options layered over the defaults:
+//
+//	cfg := mussti.NewCompileConfig(mussti.WithLookAhead(6))
+//	res, err = comp.Compile(ctx, c, dev, cfg)
+//
+// Or compare every registered compiler on one machine:
+//
+//	g, _ := mussti.NewGrid(2, 3, 8)
+//	for _, comp := range mussti.Compilers() {
+//		res, err := comp.Compile(ctx, c, g, nil)
+//		...
+//	}
+//
+// Out-of-tree compilers join through RegisterCompiler and automatically
+// appear in every experiment, the measurement cache and CSV output of the
+// harness. The pre-registry entry points (Compile, CompileContext,
+// CompileBaseline, CompileBaselineContext) remain as deprecated wrappers
+// with unchanged behaviour.
 //
 // The package re-exports the stable parts of the internal packages:
 // circuit construction (Circuit, Gate), benchmark generators, EML-QCCD and
-// grid architectures, the physics model, the MUSS-TI compiler, the three
-// baseline compilers, and the experiment harness that regenerates every
-// table and figure of the paper.
+// grid architectures, the physics model, the compiler registry, and the
+// experiment harness that regenerates every table and figure of the paper.
 package mussti
 
 import (
@@ -126,11 +151,42 @@ func DefaultPhysics() PhysicsParams { return physics.Default() }
 
 // Compiler types.
 type (
+	// Compiler is a nameable compilation strategy: it schedules a Circuit
+	// onto a Target and reports a unified *Result. The four built-ins
+	// register as "mussti", "murali", "dai" and "mqt"; out-of-tree
+	// compilers join through RegisterCompiler.
+	Compiler = core.Compiler
+	// Target is a machine a compiler can schedule onto; *Device and *Grid
+	// both implement it.
+	Target = arch.Target
+	// CompileConfig is the one configuration type shared by every
+	// compiler: each reads the fields it understands (zero fields mean
+	// "this compiler's default") and ignores the rest.
+	CompileConfig = core.CompileConfig
+	// CompileOption mutates a CompileConfig; see NewCompileConfig.
+	CompileOption = core.CompileOption
+	// DisplayNamer is optionally implemented by compilers whose
+	// human-facing label differs from their registry name; see
+	// CompilerLabel.
+	DisplayNamer = core.DisplayNamer
+	// ConfigDefaulter is optionally implemented by compilers whose
+	// paper-default configuration differs from the zero CompileConfig.
+	ConfigDefaulter = core.ConfigDefaulter
+	// TargetSupporter is optionally implemented by compilers restricted to
+	// certain machine shapes (the grid-only baselines implement it), so
+	// harnesses — including the experiment runner's -compilers path — can
+	// skip an incompatible compiler with a note instead of failing a whole
+	// experiment mid-run. Compile must still reject unsupported targets
+	// itself; this is advisory.
+	TargetSupporter = core.TargetSupporter
 	// Options configures a MUSS-TI compilation.
+	//
+	// Deprecated: Options is the pre-registry name of CompileConfig.
 	Options = core.Options
 	// ReplacementPolicy selects the conflict-handling victim policy.
 	ReplacementPolicy = core.ReplacementPolicy
-	// Result is a compilation outcome (metrics + mappings + trace).
+	// Result is a compilation outcome (metrics + mappings + trace), shared
+	// by every compiler behind the Compiler interface.
 	Result = core.Result
 	// SchedStats counts the scheduler's per-mechanism decisions.
 	SchedStats = core.SchedStats
@@ -138,6 +194,60 @@ type (
 	Metrics = sim.Metrics
 	// MappingStrategy selects the initial placement.
 	MappingStrategy = core.MappingStrategy
+)
+
+// RegisterCompiler adds a compiler to the process-wide registry; it errors
+// on an empty or already-taken name. Registered compilers resolve through
+// LookupCompiler and automatically appear in every experiment, the
+// measurement cache and CSV output.
+func RegisterCompiler(c Compiler) error { return core.RegisterCompiler(c) }
+
+// LookupCompiler returns the registered compiler with the given name
+// ("mussti", "murali", "dai", "mqt", or an out-of-tree registration).
+func LookupCompiler(name string) (Compiler, error) { return core.LookupCompiler(name) }
+
+// Compilers returns the registered compilers in registration order (the
+// built-ins first: mussti, murali, dai, mqt). The slice is a copy.
+func Compilers() []Compiler { return core.Compilers() }
+
+// CompilerNames returns the registered compiler names in registration order.
+func CompilerNames() []string { return core.CompilerNames() }
+
+// CompilerLabel returns a compiler's human-facing label — the paper's table
+// names ("MUSS-TI", "QCCD-Murali", ...) for the built-ins, Name() otherwise.
+func CompilerLabel(c Compiler) string { return core.CompilerLabel(c) }
+
+// SupportsTarget reports whether the compiler declares support for the
+// target's machine shape (via TargetSupporter); compilers that don't
+// implement it are assumed to support anything and error from Compile if
+// not. Use it to pre-filter a compiler set before a sweep.
+func SupportsTarget(c Compiler, t Target) bool { return core.SupportsTarget(c, t) }
+
+// NewCompileConfig returns the paper's default configuration with the given
+// functional options applied, e.g.
+// NewCompileConfig(WithLookAhead(6), WithTrace()).
+func NewCompileConfig(opts ...CompileOption) *CompileConfig { return core.NewCompileConfig(opts...) }
+
+// Functional options for NewCompileConfig.
+var (
+	// WithMapping selects the initial-placement strategy.
+	WithMapping = core.WithMapping
+	// WithSwapInsertion toggles the §3.3 inter-module SWAP insertion.
+	WithSwapInsertion = core.WithSwapInsertion
+	// WithLookAhead sets the look-ahead window k in DAG layers.
+	WithLookAhead = core.WithLookAhead
+	// WithSwapThreshold sets the SWAP-insertion weight threshold T.
+	WithSwapThreshold = core.WithSwapThreshold
+	// WithPhysics sets the physics model.
+	WithPhysics = core.WithPhysics
+	// WithTrace enables op-level trace recording.
+	WithTrace = core.WithTrace
+	// WithReplacement selects the conflict-handling victim policy.
+	WithReplacement = core.WithReplacement
+	// WithObserver attaches per-step progress callbacks.
+	WithObserver = core.WithObserver
+	// WithRoutingLookAhead toggles the routing attraction term.
+	WithRoutingLookAhead = core.WithRoutingLookAhead
 )
 
 // Initial-mapping strategies (§3.4 of the paper).
@@ -160,6 +270,10 @@ const (
 func DefaultOptions() Options { return core.DefaultOptions() }
 
 // Compile schedules a circuit onto an EML-QCCD device with MUSS-TI.
+//
+// Deprecated: resolve the compiler through the registry instead —
+// LookupCompiler("mussti") then Compile(ctx, c, dev, cfg). This wrapper's
+// behaviour is unchanged.
 func Compile(c *Circuit, d *Device, opts Options) (*Result, error) {
 	return core.Compile(c, d, opts)
 }
@@ -167,6 +281,10 @@ func Compile(c *Circuit, d *Device, opts Options) (*Result, error) {
 // CompileContext is Compile with cooperative cancellation: the scheduling
 // loops check ctx at every frontier step, so a cancelled or expired context
 // aborts a long compile within one scheduler step and surfaces ctx.Err().
+//
+// Deprecated: resolve the compiler through the registry instead —
+// LookupCompiler("mussti") then Compile(ctx, c, dev, cfg). This wrapper's
+// behaviour is unchanged.
 func CompileContext(ctx context.Context, c *Circuit, d *Device, opts Options) (*Result, error) {
 	return core.CompileContext(ctx, c, d, opts)
 }
@@ -203,8 +321,14 @@ func ReadScheduleJSON(r io.Reader) (numQubits int, trace []ScheduleOp, err error
 // Baseline compilers (the paper's comparison points).
 type (
 	BaselineAlgorithm = baseline.Algorithm
-	BaselineOptions   = baseline.Options
-	BaselineResult    = baseline.Result
+	// BaselineOptions configures a baseline run.
+	//
+	// Deprecated: the registry path takes the shared CompileConfig; the
+	// baselines read its Params, LookAhead, Trace and Observer fields.
+	BaselineOptions = baseline.Options
+	// BaselineResult is the outcome of a baseline compilation — now the
+	// same type as Result, so harnesses handle one result shape.
+	BaselineResult = baseline.Result
 )
 
 // Baseline algorithm identifiers.
@@ -216,12 +340,20 @@ const (
 
 // CompileBaseline schedules a circuit onto a monolithic grid with one of
 // the baseline compilers.
+//
+// Deprecated: resolve the compiler through the registry instead —
+// LookupCompiler("murali"/"dai"/"mqt") then Compile(ctx, c, grid, cfg).
+// This wrapper's behaviour is unchanged.
 func CompileBaseline(algo BaselineAlgorithm, c *Circuit, g *Grid, opts BaselineOptions) (*BaselineResult, error) {
 	return baseline.Compile(algo, c, g, opts)
 }
 
 // CompileBaselineContext is CompileBaseline with cooperative cancellation,
 // mirroring CompileContext.
+//
+// Deprecated: resolve the compiler through the registry instead —
+// LookupCompiler("murali"/"dai"/"mqt") then Compile(ctx, c, grid, cfg).
+// This wrapper's behaviour is unchanged.
 func CompileBaselineContext(ctx context.Context, algo BaselineAlgorithm, c *Circuit, g *Grid, opts BaselineOptions) (*BaselineResult, error) {
 	return baseline.CompileContext(ctx, algo, c, g, opts)
 }
@@ -279,6 +411,19 @@ func RunExperimentCollect(ctx context.Context, id string, r *Runner) (string, []
 		return "", nil, err
 	}
 	return e.CollectContext(ctx, r)
+}
+
+// RunExperimentWith is RunExperimentCollect restricted to the given
+// registered compiler names: the experiment measures (and renders columns or
+// sections for) only those compilers, in order — including out-of-tree
+// registrations. An empty list means the experiment's default compiler set,
+// which reproduces the paper byte-for-byte.
+func RunExperimentWith(ctx context.Context, id string, r *Runner, compilers []string) (string, []Measurement, error) {
+	e, err := eval.ByID(id)
+	if err != nil {
+		return "", nil, err
+	}
+	return e.CollectWith(ctx, r, compilers)
 }
 
 // WriteMeasurementsCSV writes measurements as CSV with a header row, the

@@ -187,3 +187,64 @@ func TestPublicRunExperimentCollectCSV(t *testing.T) {
 		t.Errorf("csv has %d lines, want %d rows + header", lines, len(ms))
 	}
 }
+
+func TestPublicCompilerRegistry(t *testing.T) {
+	// The four built-ins resolve by name, in registration order.
+	names := mussti.CompilerNames()
+	if len(names) < 4 || names[0] != "mussti" || names[1] != "murali" || names[2] != "dai" || names[3] != "mqt" {
+		t.Fatalf("CompilerNames() = %v, want [mussti murali dai mqt ...]", names)
+	}
+	c := mussti.Benchmark("GHZ_n32")
+	g, err := mussti.NewGrid(2, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mussti", "murali", "dai", "mqt"} {
+		comp, err := mussti.LookupCompiler(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := comp.Compile(context.Background(), c, g, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Metrics.Gates2+res.Metrics.FiberGates == 0 {
+			t.Errorf("%s: no gates executed", name)
+		}
+	}
+	if _, err := mussti.LookupCompiler("nope"); err == nil {
+		t.Error("unknown compiler resolved")
+	}
+}
+
+func TestPublicCompileConfigOptions(t *testing.T) {
+	cfg := mussti.NewCompileConfig(mussti.WithLookAhead(6), mussti.WithMapping(mussti.MappingTrivial))
+	if cfg.LookAhead != 6 || cfg.Mapping != mussti.MappingTrivial || !cfg.SwapInsertion {
+		t.Errorf("functional options misapplied: %+v", cfg)
+	}
+	// The unified config drives the registry path end to end.
+	comp, err := mussti.LookupCompiler("mussti")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mussti.Benchmark("GHZ_n32")
+	dev := mussti.NewDevice(mussti.DeviceConfigFor(c.NumQubits))
+	if _, err := comp.Compile(context.Background(), c, dev, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicRunExperimentWith(t *testing.T) {
+	out, ms, err := mussti.RunExperimentWith(context.Background(), "table2", nil, []string{"mussti"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ShutOurs") || strings.Contains(out, "Shut[55]") {
+		t.Errorf("compiler restriction not applied:\n%s", out)
+	}
+	for _, m := range ms {
+		if m.Compiler != "MUSS-TI" {
+			t.Errorf("unexpected compiler %q in measurements", m.Compiler)
+		}
+	}
+}
