@@ -1,0 +1,157 @@
+// Command benchjson measures the compilation hot paths with
+// testing.Benchmark and writes the results as JSON — the per-PR performance
+// trajectory record committed as BENCH_compile.json at the repo root:
+//
+//	go run ./cmd/benchjson                  # rewrites BENCH_compile.json
+//	go run ./cmd/benchjson -o -             # print to stdout
+//
+// The benchmarked units mirror the microbenchmarks under internal/... (one
+// full compile, DAG construction, the frontier drain, one look-ahead window
+// scan, one engine shuttle) so the committed trajectory and `go test -bench`
+// agree on what is being measured.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"mussti"
+	"mussti/internal/circuit/bench"
+	"mussti/internal/dag"
+	"mussti/internal/physics"
+	"mussti/internal/sim"
+)
+
+type entry struct {
+	// Name identifies the benchmarked unit, e.g. "compile/SQRT_n299".
+	Name string `json:"name"`
+	// Iterations is the b.N testing.Benchmark settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the usual -benchmem triple.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	Tool       string  `json:"tool"`
+	Go         string  `json:"go"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func measure(name string, fn func(b *testing.B)) entry {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return entry{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+}
+
+// compileBench compiles the named application on its default-sized EML
+// device with the paper's headline options — the unit of work behind every
+// table cell and the Fig. 10 compile-time curves.
+func compileBench(app string) func(b *testing.B) {
+	return func(b *testing.B) {
+		c := bench.MustByName(app)
+		dev := mussti.NewDevice(mussti.DeviceConfigFor(c.NumQubits))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mussti.Compile(c, dev, mussti.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_compile.json", `output path ("-" for stdout)`)
+	flag.Parse()
+
+	big := bench.MustByName("SQRT_n299")
+	r := report{Tool: "benchjson", Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	r.Benchmarks = []entry{
+		measure("compile/QFT_n32", compileBench("QFT_n32")),
+		measure("compile/SQRT_n299", compileBench("SQRT_n299")),
+		measure("dag/build/SQRT_n299", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if g := dag.Build(big); g.Done() {
+					b.Fatal("empty graph")
+				}
+			}
+		}),
+		measure("dag/drain/SQRT_n299", func(b *testing.B) {
+			g := dag.Build(big)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Reset()
+				for !g.Done() {
+					g.Execute(g.Frontier()[0])
+				}
+			}
+		}),
+		measure("dag/walkahead8/SQRT_n299", func(b *testing.B) {
+			g := dag.Build(big)
+			for g.Remaining() > len(g.Nodes)/2 {
+				g.Execute(g.Frontier()[0])
+			}
+			b.ResetTimer()
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				g.WalkAhead(8, func(_ int, n *dag.Node) { sink += n.ID })
+			}
+			_ = sink
+		}),
+		measure("sim/move", func(b *testing.B) {
+			zones := []sim.ZoneInfo{
+				{Capacity: 16, GateCapable: true, Module: 0},
+				{Capacity: 16, GateCapable: true, Module: 0},
+			}
+			e := sim.NewEngine(zones, 16, physics.Default())
+			for q := 0; q < 16; q++ {
+				if err := e.Place(q, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Move whichever ion is mid-chain so every iteration pays
+				// the same chain-swap cost (a fixed qubit would settle at
+				// the chain tail and measure the swap-free best case).
+				q := e.Chain(0)[8]
+				if err := e.Move(q, 1, 100); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Move(q, 0, 100); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}
+
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(r.Benchmarks), *out)
+}

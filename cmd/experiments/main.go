@@ -26,13 +26,20 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"mussti"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain is main with an exit code instead of os.Exit calls, so the
+// deferred profile writers (and any other cleanup) always run — os.Exit
+// would skip them.
+func realMain() int {
 	exp := flag.String("exp", "", "experiment ID to run (default: all)")
 	list := flag.Bool("list", false, "list registered compilers and experiment IDs, then exit")
 	compilers := flag.String("compilers", "", "comma-separated registry names; experiments measure only these compilers (default: each experiment's paper set)")
@@ -41,7 +48,45 @@ func main() {
 	cache := flag.Bool("cache", true, "dedupe identical measurement points across experiments (needs -parallel)")
 	progress := flag.Bool("progress", false, "print per-job progress tick lines to stderr (needs -parallel)")
 	csvPath := flag.String("csv", "", "write every structured Measurement row to this CSV file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
+
+	// Profiling flags so perf work on the compilers is driven by pprof
+	// rather than guesswork:
+	//
+	//	go run ./cmd/experiments -exp fig10 -parallel=false -cpuprofile cpu.out
+	//	go tool pprof cpu.out
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -cpuprofile:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("registered compilers:")
@@ -52,7 +97,7 @@ func main() {
 		for _, e := range mussti.ExperimentList() {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Description)
 		}
-		return
+		return 0
 	}
 
 	// -compilers validates up front, so a typo fails with the registry's
@@ -66,7 +111,7 @@ func main() {
 			}
 			if _, err := mussti.LookupCompiler(name); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(2)
+				return 2
 			}
 			comps = append(comps, name)
 		}
@@ -109,7 +154,9 @@ func main() {
 	}
 
 	var collected []mussti.Measurement
-	finish := func() {
+	// finish reports cache stats and flushes the CSV sink; it returns a
+	// non-zero exit code when the CSV cannot be written.
+	finish := func() int {
 		if runner != nil {
 			if hits, misses := runner.CacheStats(); hits > 0 {
 				fmt.Fprintf(os.Stderr, "experiments: measurement cache served %d of %d points without compiling\n",
@@ -117,7 +164,7 @@ func main() {
 			}
 		}
 		if *csvPath == "" {
-			return
+			return 0
 		}
 		f, err := os.Create(*csvPath)
 		if err == nil {
@@ -128,9 +175,10 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: writing csv:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "experiments: wrote %d measurement rows to %s\n", len(collected), *csvPath)
+		return 0
 	}
 
 	if *exp != "" {
@@ -141,15 +189,14 @@ func main() {
 			out, ms, err := run(e)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Print(out)
 			collected = ms
-			finish()
-			return
+			return finish()
 		}
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q; use -list\n", *exp)
-		os.Exit(2)
+		return 2
 	}
 
 	// All-experiments mode: every experiment runs even when earlier ones
@@ -190,9 +237,10 @@ func main() {
 		fmt.Print(res.out)
 		collected = append(collected, res.ms...)
 	}
-	finish()
+	code := finish()
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed\n", failed, len(exps))
-		os.Exit(1)
+		return 1
 	}
+	return code
 }

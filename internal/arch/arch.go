@@ -87,7 +87,11 @@ type Device struct {
 	ZonePitchUM float64
 	// DistUM, when non-nil, overrides the linear-segment distance between
 	// two same-module zones (used by the grid adapter, whose traps live on
-	// a lattice rather than a segment).
+	// a lattice rather than a segment). IntraDistanceUM reads distances
+	// from the matrix PrecomputeDistances froze, not from this closure —
+	// set DistUM before building the matrix (as Grid.Device does), or call
+	// PrecomputeDistances again after changing it; mutating only DistUM on
+	// an already-built device would silently keep the old geometry.
 	DistUM func(a, b int) float64
 	// DistKey identifies the DistUM geometry in CacheKey: a function value
 	// cannot be rendered, so builders that set DistUM should set DistKey to
@@ -96,6 +100,12 @@ type Device struct {
 	// full intra-module distance matrix instead — correct, but O(zones²)
 	// calls into DistUM per CacheKey call.
 	DistKey string
+
+	// dist is the flattened NZ×NZ intra-module zone-distance matrix filled
+	// by PrecomputeDistances (negative entries mark cross-module pairs).
+	// IntraDistanceUM answers from it in O(1); when nil — a hand-assembled
+	// Device literal — it falls back to computing per call.
+	dist []float64
 }
 
 // Config describes an EML-QCCD build.
@@ -206,7 +216,45 @@ func New(cfg Config) (*Device, error) {
 		}
 		d.Modules = append(d.Modules, mod)
 	}
+	d.PrecomputeDistances()
 	return d, nil
+}
+
+// PrecomputeDistances builds the intra-module zone-distance matrix behind
+// IntraDistanceUM, turning every later distance query into one array read.
+// New and Grid.Device call it automatically; builders that assemble a Device
+// literally (or mutate zone geometry afterwards) may call it themselves —
+// or not, in which case distances are computed per call as before.
+func (d *Device) PrecomputeDistances() {
+	nz := len(d.Zones)
+	dist := make([]float64, nz*nz)
+	for i := range dist {
+		dist[i] = -1 // cross-module sentinel; overwritten for legal pairs
+	}
+	for _, m := range d.Modules {
+		for _, a := range m.Zones {
+			for _, b := range m.Zones {
+				dist[a*nz+b] = d.intraDistanceSlow(a, b)
+			}
+		}
+	}
+	d.dist = dist
+}
+
+// intraDistanceSlow computes one intra-module distance from first
+// principles: the builder-supplied DistUM geometry when set, the linear
+// zone-segment pitch otherwise. PrecomputeDistances evaluates it once per
+// same-module zone pair; IntraDistanceUM uses it only on matrix-less
+// devices.
+func (d *Device) intraDistanceSlow(a, b int) float64 {
+	if d.DistUM != nil {
+		return d.DistUM(a, b)
+	}
+	diff := d.Zones[a].Pos - d.Zones[b].Pos
+	if diff < 0 {
+		diff = -diff
+	}
+	return float64(diff) * d.ZonePitchUM
 }
 
 // MustNew is New for known-good configurations; it panics on error.
@@ -264,23 +312,24 @@ func (d *Device) OpticalZones() []int {
 }
 
 // IntraDistanceUM returns the physical shuttle distance between two zones of
-// the same module. It panics if the zones belong to different modules: ions
-// never physically travel between modules on an EML-QCCD device (qubit state
-// crosses modules only through fiber entanglement), so asking for such a
-// distance is a scheduler bug.
+// the same module — an O(1) read of the precomputed distance matrix on
+// devices built by New or Grid.Device. It panics if the zones belong to
+// different modules: ions never physically travel between modules on an
+// EML-QCCD device (qubit state crosses modules only through fiber
+// entanglement), so asking for such a distance is a scheduler bug.
 func (d *Device) IntraDistanceUM(a, b int) float64 {
-	za, zb := d.Zones[a], d.Zones[b]
-	if za.Module != zb.Module {
-		panic(fmt.Sprintf("arch: intra-module distance across modules %d and %d", za.Module, zb.Module))
+	if d.dist != nil {
+		if v := d.dist[a*len(d.Zones)+b]; v >= 0 {
+			return v
+		}
+		panic(fmt.Sprintf("arch: intra-module distance across modules %d and %d",
+			d.Zones[a].Module, d.Zones[b].Module))
 	}
-	if d.DistUM != nil {
-		return d.DistUM(a, b)
+	if d.Zones[a].Module != d.Zones[b].Module {
+		panic(fmt.Sprintf("arch: intra-module distance across modules %d and %d",
+			d.Zones[a].Module, d.Zones[b].Module))
 	}
-	diff := za.Pos - zb.Pos
-	if diff < 0 {
-		diff = -diff
-	}
-	return float64(diff) * d.ZonePitchUM
+	return d.intraDistanceSlow(a, b)
 }
 
 // LevelsDescending enumerates zone levels from highest to lowest.

@@ -103,6 +103,31 @@ func TestIntraDistance(t *testing.T) {
 	}
 }
 
+func TestDistanceMatrixMatchesFallback(t *testing.T) {
+	// A device built by New answers from the precomputed matrix; a shallow
+	// copy with the matrix stripped takes the compute-per-call fallback.
+	// Every same-module pair must agree, and the fallback must keep the
+	// cross-module panic behaviour.
+	d := MustNew(DefaultConfig(64))
+	slow := *d
+	slow.dist = nil
+	for _, m := range d.Modules {
+		for _, a := range m.Zones {
+			for _, b := range m.Zones {
+				if got, want := d.IntraDistanceUM(a, b), slow.IntraDistanceUM(a, b); got != want {
+					t.Fatalf("matrix distance (%d,%d) = %v, fallback %v", a, b, got, want)
+				}
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("fallback cross-module distance did not panic")
+		}
+	}()
+	slow.IntraDistanceUM(d.Modules[0].Zones[0], d.Modules[1].Zones[0])
+}
+
 func TestIntraDistancePanicsAcrossModules(t *testing.T) {
 	d := MustNew(DefaultConfig(32))
 	defer func() {

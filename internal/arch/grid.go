@@ -102,6 +102,9 @@ func (g *Grid) Device() *Device {
 	}
 	d.Modules = []Module{mod}
 	d.DistUM = func(a, b int) float64 { return float64(g.Distance(a, b)) * g.TrapPitchUM }
+	// Freeze the lattice geometry into the O(1) distance matrix so the
+	// scheduler's cost loops never call back into the closure.
+	d.PrecomputeDistances()
 	return d
 }
 

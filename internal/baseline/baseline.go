@@ -190,26 +190,24 @@ type gridRouter struct {
 	clock    int64
 	executed int   // two-qubit gates done, for Observer ticks
 	home     []int // MQT: each qubit's home trap
+
+	// trapScratch is the reused buffer of futurePartnerTraps (Dai's
+	// look-ahead destination choice, run once per routed gate).
+	trapScratch []int
 }
 
 func (r *gridRouter) init() error {
 	n := r.c.NumQubits
-	r.perQubit = make([][]int, n)
+	r.perQubit = r.c.PerQubitGates()
 	r.cursor = make([]int, n)
 	r.lastUsed = make([]int64, n)
 	r.home = make([]int, n)
-	for gi, gate := range r.c.Gates {
-		for _, q := range gate.Operands() {
-			r.perQubit[q] = append(r.perQubit[q], gi)
-		}
-	}
 	// Row-major sequential fill, the trivial mapping all three original
 	// systems start from. MQT reserves its processing trap (trap 0).
 	trap := 0
 	if r.algo == MQT {
 		trap = 1
 	}
-	startTrap := trap
 	for q := 0; q < n; q++ {
 		for r.eng.Free(trap) == 0 {
 			trap++
@@ -222,7 +220,6 @@ func (r *gridRouter) init() error {
 		}
 		r.home[q] = trap
 	}
-	_ = startTrap
 	return nil
 }
 
@@ -290,7 +287,7 @@ func (r *gridRouter) executeNode(id int) error {
 	r.executed++
 	r.obs.GateScheduled(r.executed, len(r.g.Nodes))
 	gi := r.g.Nodes[id].GateIndex
-	for _, q := range []int{a, b} {
+	for _, q := range [2]int{a, b} {
 		if r.cursor[q] < len(r.perQubit[q]) && r.perQubit[q][r.cursor[q]] == gi {
 			r.cursor[q]++
 		} else {
@@ -298,7 +295,7 @@ func (r *gridRouter) executeNode(id int) error {
 		}
 	}
 	r.g.Execute(id)
-	for _, q := range []int{a, b} {
+	for _, q := range [2]int{a, b} {
 		if err := r.flushOneQubit(q); err != nil {
 			return err
 		}

@@ -110,7 +110,7 @@ func (r *gridRouter) routeMurali(id int) error {
 func (r *gridRouter) routeDai(id int) error {
 	a, b := r.operands(id)
 	dst := r.bestMeetingTrap(a, b)
-	for _, q := range []int{a, b} {
+	for _, q := range [2]int{a, b} {
 		if r.eng.ZoneOf(q) != dst {
 			if err := r.walk(q, dst, a, b); err != nil {
 				return err
@@ -132,9 +132,9 @@ func (r *gridRouter) bestMeetingTrap(a, b int) int {
 	mid := r.grid.TrapAt((ra+rb)/2, (ca+cb)/2)
 	cands := []int{ta, tb, mid}
 
-	// Look-ahead attraction: positions of the next partners of a and b.
-	attract := r.futurePartnerTraps(a)
-	attract = append(attract, r.futurePartnerTraps(b)...)
+	// Look-ahead attraction: positions of the next partners of a and b,
+	// gathered into one reused buffer (one window scan per operand).
+	attract := r.futurePartnerTraps(a, b)
 
 	best, bestCost := tb, math.Inf(1)
 	for _, t := range cands {
@@ -160,15 +160,27 @@ func (r *gridRouter) bestMeetingTrap(a, b int) int {
 	return best
 }
 
-// futurePartnerTraps returns the traps of q's partners within the next
-// LookAhead DAG layers.
-func (r *gridRouter) futurePartnerTraps(q int) []int {
-	var traps []int
+// futurePartnerTraps returns the traps of a's partners within the next
+// LookAhead DAG layers, followed by b's. It deliberately keeps the two
+// window scans of the pre-refactor per-operand calls: merging them into one
+// scan would interleave the partners and change the floating-point
+// summation order of bestMeetingTrap's cost (bit-identical schedules are
+// this package's golden-output contract), so only the per-call allocation
+// was removed. The result is the router's reused scratch buffer, valid
+// until the next routed gate.
+func (r *gridRouter) futurePartnerTraps(a, b int) []int {
+	traps := r.trapScratch[:0]
 	r.g.WalkAhead(r.opts.LookAhead, func(_ int, n *dag.Node) {
-		if p := n.Gate.Other(q); p >= 0 {
+		if p := n.Gate.Other(a); p >= 0 {
 			traps = append(traps, r.eng.ZoneOf(p))
 		}
 	})
+	r.g.WalkAhead(r.opts.LookAhead, func(_ int, n *dag.Node) {
+		if p := n.Gate.Other(b); p >= 0 {
+			traps = append(traps, r.eng.ZoneOf(p))
+		}
+	})
+	r.trapScratch = traps
 	return traps
 }
 
@@ -180,7 +192,7 @@ func (r *gridRouter) futurePartnerTraps(q int) []int {
 func (r *gridRouter) routeMQT(id int) error {
 	a, b := r.operands(id)
 	const processing = 0
-	for _, q := range []int{a, b} {
+	for _, q := range [2]int{a, b} {
 		if err := r.walk(q, processing, a, b); err != nil {
 			return err
 		}
@@ -188,7 +200,7 @@ func (r *gridRouter) routeMQT(id int) error {
 	if err := r.executeNode(id); err != nil {
 		return err
 	}
-	for _, q := range []int{a, b} {
+	for _, q := range [2]int{a, b} {
 		if err := r.walkHome(q, a, b); err != nil {
 			return err
 		}

@@ -22,6 +22,44 @@ func New(name string, n int) *Circuit {
 	return &Circuit{Name: name, NumQubits: n}
 }
 
+// PerQubitGates returns, for every qubit, the indices into Gates of the
+// gates touching it, in program order — the per-qubit timeline both
+// schedulers walk with a cursor. All rows are carved from one backing array
+// sized by a counting pass, so the whole structure costs three allocations
+// regardless of circuit size.
+func (c *Circuit) PerQubitGates() [][]int {
+	counts := make([]int, c.NumQubits)
+	total := 0
+	for _, g := range c.Gates {
+		switch g.Kind.Arity() {
+		case 1:
+			counts[g.Qubits[0]]++
+			total++
+		case 2:
+			counts[g.Qubits[0]]++
+			counts[g.Qubits[1]]++
+			total += 2
+		}
+	}
+	backing := make([]int, total)
+	out := make([][]int, c.NumQubits)
+	off := 0
+	for q, cnt := range counts {
+		out[q] = backing[off : off : off+cnt]
+		off += cnt
+	}
+	for gi, g := range c.Gates {
+		switch g.Kind.Arity() {
+		case 1:
+			out[g.Qubits[0]] = append(out[g.Qubits[0]], gi)
+		case 2:
+			out[g.Qubits[0]] = append(out[g.Qubits[0]], gi)
+			out[g.Qubits[1]] = append(out[g.Qubits[1]], gi)
+		}
+	}
+	return out
+}
+
 // Append adds a gate, validating the operands against the register width.
 // It panics on malformed gates: circuit construction errors are programming
 // errors, matching how the benchmark generators use it.

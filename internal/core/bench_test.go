@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"mussti/internal/arch"
+	"mussti/internal/circuit/bench"
+)
+
+// BenchmarkSchedulerRun measures one full scheduling pass (no SABRE probes,
+// no SWAP insertion) over the densest small benchmark — the per-step cost of
+// the frontier sweep, routing, eviction and look-ahead machinery in
+// isolation from the mapping search.
+func BenchmarkSchedulerRun(b *testing.B) {
+	c := bench.MustByName("QFT_n32")
+	d := arch.MustNew(arch.DefaultConfig(c.NumQubits))
+	opts := Options{Mapping: MappingTrivial}.withDefaults()
+	initial, err := trivialMapping(c.NumQubits, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := newScheduler(context.Background(), c, d, opts, initial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerStep isolates the steady-state scheduler step by
+// amortising setup over the drain: ns/op ≈ cost of (frontier read + route +
+// execute) × gates. Allocations here are the ones ISSUE 4 drives to zero.
+func BenchmarkSchedulerStep(b *testing.B) {
+	c := bench.MustByName("QFT_n32")
+	d := arch.MustNew(arch.DefaultConfig(c.NumQubits))
+	opts := Options{Mapping: MappingTrivial}.withDefaults()
+	initial, err := trivialMapping(c.NumQubits, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gates := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := newScheduler(context.Background(), c, d, opts, initial)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.run(); err != nil {
+			b.Fatal(err)
+		}
+		gates += s.executed
+	}
+	b.StopTimer()
+	if gates > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(gates), "ns/gate")
+	}
+}

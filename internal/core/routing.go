@@ -44,7 +44,7 @@ func (s *scheduler) routeIntra(a, b, m int) error {
 		if !info.Level.GateCapable() {
 			continue
 		}
-		cost := s.gatherCost(z, a, b) + s.attractionCost(z, a, b, attract)
+		cost := s.gatherCost(z, a, b) + s.attractionCost(z, attract)
 		if cost < best.cost || (cost == best.cost && info.Level > best.level) {
 			best = cand{zone: z, cost: cost, level: info.Level}
 		}
@@ -52,7 +52,7 @@ func (s *scheduler) routeIntra(a, b, m int) error {
 	if best.zone == -1 {
 		return fmt.Errorf("core: module %d has no gate-capable zone", m)
 	}
-	for _, q := range []int{a, b} {
+	for _, q := range [2]int{a, b} {
 		if s.eng.ZoneOf(q) == best.zone {
 			continue
 		}
@@ -74,14 +74,15 @@ type attraction struct {
 
 // futureAttraction scans the look-ahead window once and returns, for the
 // two routed qubits, where their upcoming partners sit. Weights decay with
-// DAG layer so imminent gates dominate.
+// DAG layer so imminent gates dominate. The returned slice is the
+// scheduler's reused scratch buffer — valid until the next routed gate.
 func (s *scheduler) futureAttraction(a, b int) []attraction {
 	if s.opts.DisableRoutingLookAhead {
 		return nil
 	}
-	var out []attraction
+	out := s.attractScratch[:0]
 	s.g.WalkAhead(s.opts.LookAhead, func(layer int, n *dag.Node) {
-		for _, q := range []int{a, b} {
+		for _, q := range [2]int{a, b} {
 			p := n.Gate.Other(q)
 			if p < 0 || p == a || p == b {
 				continue
@@ -101,17 +102,16 @@ func (s *scheduler) futureAttraction(a, b int) []attraction {
 			out = append(out, attraction{qubit: q, target: target, weight: 1 / float64(1+layer)})
 		}
 	})
+	s.attractScratch = out
 	return out
 }
 
 // attractionCost estimates the future shuttle cost of parking the routed
-// qubits in zone z given their upcoming partners.
-func (s *scheduler) attractionCost(z, a, b int, attract []attraction) float64 {
+// qubits in zone z given their upcoming partners. Both operands end up in z
+// after the gather, so every attraction in the list contributes.
+func (s *scheduler) attractionCost(z int, attract []attraction) float64 {
 	p := s.opts.Params
 	cost := 0.0
-	// Both operands end up in z after the gather, so every attraction of a
-	// and b contributes.
-	_, _ = a, b
 	for _, at := range attract {
 		if at.target == z {
 			continue
@@ -150,7 +150,7 @@ func (s *scheduler) gatherCost(z, a, b int) float64 {
 	p := s.opts.Params
 	cost := 0.0
 	need := 0
-	for _, q := range []int{a, b} {
+	for _, q := range [2]int{a, b} {
 		if q < 0 {
 			continue
 		}
@@ -174,9 +174,13 @@ func (s *scheduler) gatherCost(z, a, b int) float64 {
 	return cost
 }
 
-// moveWithEviction shuttles q into zone dst, first evicting LRU residents
-// if dst is full (§3.2 "Qubit replacement scheduler"). keepA/keepB are
-// never evicted (the gate's own operands).
+// moveWithEviction shuttles q into zone dst, first making room when dst is
+// full (§3.2 "Conflict Handling"). Victim selection goes through pickVictim,
+// the ReplacementPolicy dispatcher in replacement.go: under the default
+// ReplaceLRU it delegates to pickLRUVictim below (the paper's "qubit
+// replacement scheduler"); the FIFO/random/Belady arms exist only for the
+// ablation experiments. keepA/keepB are never evicted (the gate's own
+// operands).
 func (s *scheduler) moveWithEviction(q, dst, keepA, keepB int) error {
 	for s.eng.Free(dst) < 1 {
 		victim := s.pickVictim(dst, keepA, keepB)
@@ -223,14 +227,10 @@ func (s *scheduler) pickLRUVictim(z, keepA, keepB int) int {
 }
 
 // nextUse returns the circuit index of q's next two-qubit gate, or a large
-// sentinel when q is done entangling.
+// sentinel (math.MaxInt32) when q is done entangling. O(1): the per-position
+// answers were precomputed by buildNextUseTables at scheduler construction.
 func (s *scheduler) nextUse(q int) int {
-	for _, gi := range s.perQubit[q][s.cursor[q]:] {
-		if s.c.Gates[gi].Kind.IsTwoQubit() {
-			return gi
-		}
-	}
-	return math.MaxInt32
+	return int(s.next2q[q][s.cursor[q]])
 }
 
 // evictionTarget picks where an evicted qubit goes: the multi-level rule

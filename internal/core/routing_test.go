@@ -165,10 +165,10 @@ func TestAttractionCostZeroWhenTargetMatches(t *testing.T) {
 	c.MS(0, 2)
 	s, _ := testScheduler(t, c, []int{1, 1, 1})
 	attr := []attraction{{qubit: 0, target: 1, weight: 1}}
-	if cost := s.attractionCost(1, 0, 1, attr); cost != 0 {
+	if cost := s.attractionCost(1, attr); cost != 0 {
 		t.Errorf("matched-target attraction cost = %v, want 0", cost)
 	}
-	if cost := s.attractionCost(2, 0, 1, attr); cost <= 0 {
+	if cost := s.attractionCost(2, attr); cost <= 0 {
 		t.Errorf("mismatched-target attraction cost = %v, want > 0", cost)
 	}
 }

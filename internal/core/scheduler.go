@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"mussti/internal/arch"
 	"mussti/internal/circuit"
@@ -26,6 +27,13 @@ type scheduler struct {
 	perQubit [][]int
 	cursor   []int
 
+	// next2q[q][i] is the circuit index of the first two-qubit gate at or
+	// after position i of perQubit[q] (math.MaxInt32 when q is done
+	// entangling), so nextUse — called once per chain resident on every
+	// LRU/Belady victim scan — is a table lookup instead of a forward scan
+	// of q's remaining gate list.
+	next2q [][]int32
+
 	// lastUsed[q] is the logical clock of q's last gate — the LRU key of
 	// the qubit-replacement scheduler (§3.2).
 	lastUsed []int64
@@ -39,8 +47,11 @@ type scheduler struct {
 	// stats tallies scheduling decisions for Result.Stats.
 	stats SchedStats
 
-	// nodeOf maps a circuit gate index to its DAG node ID.
-	nodeOf map[int]int
+	// attractScratch is the reused buffer futureAttraction fills on every
+	// routed gate.
+	attractScratch []attraction
+	// wrowScratch is the reused single-qubit weight-table row of trySwapFor.
+	wrowScratch []int
 }
 
 func newScheduler(ctx context.Context, c *circuit.Circuit, d *arch.Device, opts Options, initial []int) (*scheduler, error) {
@@ -52,25 +63,45 @@ func newScheduler(ctx context.Context, c *circuit.Circuit, d *arch.Device, opts 
 		eng:      sim.NewDeviceEngine(d, c.NumQubits, opts.Params),
 		g:        dag.Build(c),
 		obs:      ObserverOrNop(opts.Observer),
-		perQubit: make([][]int, c.NumQubits),
+		perQubit: c.PerQubitGates(),
 		cursor:   make([]int, c.NumQubits),
 		lastUsed: make([]int64, c.NumQubits),
-		nodeOf:   make(map[int]int),
 	}
-	for gi, gate := range c.Gates {
-		for _, q := range gate.Operands() {
-			s.perQubit[q] = append(s.perQubit[q], gi)
-		}
-	}
-	for _, n := range s.g.Nodes {
-		s.nodeOf[n.GateIndex] = n.ID
-	}
+	s.next2q = buildNextUseTables(c, s.perQubit)
 	for q, z := range initial {
 		if err := s.eng.Place(q, z); err != nil {
 			return nil, fmt.Errorf("core: initial mapping: %w", err)
 		}
 	}
 	return s, nil
+}
+
+// buildNextUseTables precomputes, for every position of every per-qubit gate
+// list, the circuit index of the next two-qubit gate from that position on.
+// One backward pass per qubit over a single pooled backing array: O(total
+// operand slots) = O(g) time and two allocations overall.
+func buildNextUseTables(c *circuit.Circuit, perQubit [][]int) [][]int32 {
+	total := 0
+	for _, lst := range perQubit {
+		total += len(lst) + 1
+	}
+	backing := make([]int32, total)
+	tables := make([][]int32, len(perQubit))
+	off := 0
+	for q, lst := range perQubit {
+		nx := backing[off : off+len(lst)+1]
+		off += len(lst) + 1
+		nx[len(lst)] = math.MaxInt32
+		for i := len(lst) - 1; i >= 0; i-- {
+			if c.Gates[lst[i]].Kind.IsTwoQubit() {
+				nx[i] = int32(lst[i])
+			} else {
+				nx[i] = nx[i+1]
+			}
+		}
+		tables[q] = nx
+	}
+	return tables
 }
 
 func (s *scheduler) mappingSnapshot() []int {
@@ -175,9 +206,10 @@ func (s *scheduler) executeNode(id int) error {
 	s.executed++
 	s.obs.GateScheduled(s.executed, len(s.g.Nodes))
 
-	// Advance both cursors past this gate.
+	// Advance both cursors past this gate. ([2]int keeps the pair on the
+	// stack; a []int literal here escaped to the heap once per gate.)
 	gi := s.g.Nodes[id].GateIndex
-	for _, q := range []int{a, b} {
+	for _, q := range [2]int{a, b} {
 		if s.cursor[q] < len(s.perQubit[q]) && s.perQubit[q][s.cursor[q]] == gi {
 			s.cursor[q]++
 		} else {
@@ -185,7 +217,7 @@ func (s *scheduler) executeNode(id int) error {
 		}
 	}
 	s.g.Execute(id)
-	for _, q := range []int{a, b} {
+	for _, q := range [2]int{a, b} {
 		if err := s.flushOneQubit(q); err != nil {
 			return err
 		}

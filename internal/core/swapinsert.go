@@ -28,6 +28,26 @@ func (s *scheduler) weightTable(qs []int) map[int][]int {
 	return w
 }
 
+// weightRow is weightTable for a single qubit, filling the scheduler's
+// reused row buffer instead of allocating a map — trySwapFor runs after
+// every fiber gate, so this sits on the scheduling hot path. The returned
+// slice is valid until the next weightRow call.
+func (s *scheduler) weightRow(q int) []int {
+	if cap(s.wrowScratch) < len(s.d.Modules) {
+		s.wrowScratch = make([]int, len(s.d.Modules))
+	}
+	row := s.wrowScratch[:len(s.d.Modules)]
+	for i := range row {
+		row[i] = 0
+	}
+	s.g.WalkAhead(s.opts.LookAhead, func(_ int, n *dag.Node) {
+		if p := n.Gate.Other(q); p >= 0 {
+			row[s.moduleOf(p)]++
+		}
+	})
+	return row
+}
+
 func (s *scheduler) moduleOf(q int) int {
 	return s.d.Zone(s.eng.ZoneOf(q)).Module
 }
@@ -51,7 +71,7 @@ func (s *scheduler) maybeInsertSwaps(qa, qb int) error {
 func (s *scheduler) trySwapFor(qx int) error {
 	s.stats.SwapsConsidered++
 	cx := s.moduleOf(qx)
-	wx := s.weightTable([]int{qx})[qx]
+	wx := s.weightRow(qx)
 	if wx[cx] != 0 {
 		return nil // still needed here in the near future; stay put
 	}

@@ -1,0 +1,160 @@
+package dag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveFrontier recomputes the executable set from scratch: unexecuted
+// nodes whose predecessors have all executed, in ascending ID order — the
+// specification the incremental sorted frontier must match.
+func naiveFrontier(g *Graph) []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if g.Executed(n.ID) {
+			continue
+		}
+		ready := true
+		for _, p := range n.Pred {
+			if !g.Executed(p) {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// naiveWalkAhead is the reference look-ahead: a full ascending-ID scan over
+// all unexecuted nodes computing each one's remaining layer (longest path
+// through unexecuted predecessors), visiting those with layer < k. This is
+// the pre-watermark implementation the windowed traversal replaced.
+func naiveWalkAhead(g *Graph, k int, visit func(layer int, n *Node)) {
+	if k <= 0 {
+		return
+	}
+	depth := make(map[int]int)
+	for id := range g.Nodes {
+		if g.Executed(id) {
+			continue
+		}
+		d := 0
+		for _, p := range g.Nodes[id].Pred {
+			if g.Executed(p) {
+				continue
+			}
+			if pd, ok := depth[p]; ok && pd+1 > d {
+				d = pd + 1
+			}
+		}
+		depth[id] = d
+		if d < k {
+			visit(d, &g.Nodes[id])
+		}
+	}
+}
+
+type visitRec struct{ layer, id int }
+
+func collectWalk(walk func(int, func(int, *Node)), k int) []visitRec {
+	var out []visitRec
+	walk(k, func(layer int, n *Node) { out = append(out, visitRec{layer, n.ID}) })
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertyIncrementalMatchesNaive drains randomly generated circuits in
+// random executable order and checks, at every step, that the incremental
+// frontier, the watermark and the windowed WalkAhead agree exactly (same
+// nodes, same layers, same visit order) with recompute-from-scratch
+// references — the correctness contract behind ISSUE 4's hot-path rework.
+func TestPropertyIncrementalMatchesNaive(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		c := randomCircuit(seed, 8, 80)
+		g := Build(c)
+		rng := rand.New(rand.NewSource(int64(pick)))
+		for {
+			fr := append([]int(nil), g.Frontier()...)
+			if !equalInts(fr, naiveFrontier(g)) {
+				t.Logf("seed %d: frontier %v, naive %v", seed, fr, naiveFrontier(g))
+				return false
+			}
+			wantMark := len(g.Nodes)
+			for id := range g.Nodes {
+				if !g.Executed(id) {
+					wantMark = id
+					break
+				}
+			}
+			if g.FirstUnexecuted() != wantMark {
+				t.Logf("seed %d: watermark %d, want %d", seed, g.FirstUnexecuted(), wantMark)
+				return false
+			}
+			for _, k := range []int{1, 2, 3, 8, math.MaxInt32} {
+				got := collectWalk(g.WalkAhead, k)
+				want := collectWalk(func(k int, v func(int, *Node)) { naiveWalkAhead(g, k, v) }, k)
+				if len(got) != len(want) {
+					t.Logf("seed %d k=%d: %d visits, want %d", seed, k, len(got), len(want))
+					return false
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Logf("seed %d k=%d visit %d: %+v, want %+v", seed, k, i, got[i], want[i])
+						return false
+					}
+				}
+			}
+			if g.Done() {
+				return g.FirstUnexecuted() == len(g.Nodes)
+			}
+			g.Execute(fr[rng.Intn(len(fr))])
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIncrementalSurvivesReset pins that Reset restores the incremental
+// structures exactly (the SABRE two-fold search replays graphs).
+func TestIncrementalSurvivesReset(t *testing.T) {
+	c := randomCircuit(42, 6, 50)
+	g := Build(c)
+	before := append([]int(nil), g.Frontier()...)
+	walkBefore := collectWalk(g.WalkAhead, 4)
+	for i := 0; i < 10 && !g.Done(); i++ {
+		g.Execute(g.Frontier()[0])
+	}
+	g.Reset()
+	if !equalInts(append([]int(nil), g.Frontier()...), before) {
+		t.Errorf("frontier after reset = %v, want %v", g.Frontier(), before)
+	}
+	after := collectWalk(g.WalkAhead, 4)
+	if len(after) != len(walkBefore) {
+		t.Fatalf("walk after reset visited %d nodes, want %d", len(after), len(walkBefore))
+	}
+	for i := range after {
+		if after[i] != walkBefore[i] {
+			t.Errorf("walk visit %d = %+v, want %+v", i, after[i], walkBefore[i])
+		}
+	}
+	if g.FirstUnexecuted() != 0 {
+		t.Errorf("watermark after reset = %d, want 0", g.FirstUnexecuted())
+	}
+}

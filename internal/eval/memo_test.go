@@ -282,21 +282,40 @@ func TestCacheOutputByteIdentical(t *testing.T) {
 	}
 }
 
+// cancelOnGate is an Observer that cancels the run from inside a compiling
+// gate once `after` gates have executed. Cancelling from within the compile
+// makes mid-compile cancellation deterministic regardless of compile speed —
+// wall-clock timers stopped landing reliably once the hot-path rework made
+// whole compiles faster than a few milliseconds.
+type cancelOnGate struct {
+	cancel context.CancelFunc
+	after  int
+}
+
+func (c cancelOnGate) GateScheduled(done, total int) {
+	if done >= c.after {
+		c.cancel()
+	}
+}
+func (c cancelOnGate) Shuttle(q, from, to int)       {}
+func (c cancelOnGate) Eviction(victim, from, to int) {}
+func (c cancelOnGate) SwapInserted(a, b int)         {}
+
 // TestCancelledRunLeavesNoGoroutines: a cancelled concurrent run must not
 // strand worker goroutines (the runner joins its pool before returning).
 func TestCancelledRunLeavesNoGoroutines(t *testing.T) {
 	before := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	r := NewRunner(4)
 	r.DisableCache() // identical jobs would otherwise collapse and finish early
 	jobs := make([]Job, 200)
 	for i := range jobs {
-		jobs[i] = Job{Mussti: &MusstiSpec{App: "GHZ_n64", Opts: core.DefaultOptions()}}
+		opts := core.DefaultOptions()
+		// The first job to execute a gate cancels the whole run in flight.
+		opts.Observer = cancelOnGate{cancel: cancel, after: 1}
+		jobs[i] = Job{Mussti: &MusstiSpec{App: "GHZ_n64", Opts: opts}}
 	}
-	go func() {
-		time.Sleep(5 * time.Millisecond)
-		cancel()
-	}()
 	if _, err := r.Run(ctx, jobs); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -322,13 +341,13 @@ func TestRunnerPassesContextMidCompile(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	r := NewRunner(1)
-	// One long compile (~0.5s): the cancel lands while it is in flight, so
-	// only mid-compile cancellation can make this prompt.
-	jobs := []Job{{Mussti: &MusstiSpec{App: "SQRT_n117", Opts: core.DefaultOptions()}}}
-	go func() {
-		time.Sleep(20 * time.Millisecond)
-		cancel()
-	}()
+	// The compile cancels itself from its 10th scheduled gate: success here
+	// is only possible if the runner handed its ctx into the compiler and
+	// the scheduler checks it mid-run — the capability PR 1 lacked (it only
+	// stopped between measurements).
+	opts := core.DefaultOptions()
+	opts.Observer = cancelOnGate{cancel: cancel, after: 10}
+	jobs := []Job{{Mussti: &MusstiSpec{App: "SQRT_n117", Opts: opts}}}
 	start := time.Now()
 	_, err := r.Run(ctx, jobs)
 	if !errors.Is(err, context.Canceled) {

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"mussti/internal/physics"
+)
+
+// benchEngine builds a two-zone engine with a full 16-ion chain in zone 0,
+// so moving an interior ion pays chain swaps — the regime the schedulers'
+// cost estimates (SwapsToEdge) and the Move hot path both care about.
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	zones := []ZoneInfo{
+		{Capacity: 16, GateCapable: true, Module: 0},
+		{Capacity: 16, GateCapable: true, Module: 0},
+	}
+	e := NewEngine(zones, 17, physics.Default())
+	for q := 0; q < 16; q++ {
+		if err := e.Place(q, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.Place(16, 1); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkEngineMove measures a mid-chain round trip between two zones:
+// each iteration picks whichever ion currently sits in the middle of zone
+// 0's full chain (7 chain swaps to reach an edge, then split + move +
+// merge) and brings it back edge-to-edge. Reading the middle slot keeps the
+// swap cost constant across iterations — a fixed qubit would drift to the
+// chain tail after one round trip and measure the swap-free best case.
+func BenchmarkEngineMove(b *testing.B) {
+	e := benchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := e.Chain(0)[8]
+		if err := e.Move(q, 1, 100); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Move(q, 0, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwapsToEdge measures the scheduler-facing chain-position query,
+// called once per candidate zone inside every gatherCost evaluation.
+func BenchmarkSwapsToEdge(b *testing.B) {
+	e := benchEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += e.SwapsToEdge(8)
+	}
+	_ = sink
+}

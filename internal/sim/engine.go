@@ -77,6 +77,7 @@ type Engine struct {
 
 	chains  [][]int // per zone: ordered logical qubits (chain order)
 	loc     []int   // per qubit: zone ID, -1 when unplaced
+	idx     []int   // per qubit: position within its chain, -1 when unplaced
 	heat    []float64
 	availZ  []float64
 	availQ  []float64
@@ -94,6 +95,7 @@ func NewEngine(zones []ZoneInfo, n int, p physics.Params) *Engine {
 		params:  p,
 		chains:  make([][]int, len(zones)),
 		loc:     make([]int, n),
+		idx:     make([]int, n),
 		heat:    make([]float64, len(zones)),
 		availZ:  make([]float64, len(zones)),
 		availQ:  make([]float64, n),
@@ -101,6 +103,7 @@ func NewEngine(zones []ZoneInfo, n int, p physics.Params) *Engine {
 	}
 	for i := range e.loc {
 		e.loc[i] = -1
+		e.idx[i] = -1
 	}
 	return e
 }
@@ -168,24 +171,33 @@ func (e *Engine) Place(q, z int) error {
 	}
 	e.chains[z] = append(e.chains[z], q)
 	e.loc[q] = z
+	e.idx[q] = len(e.chains[z]) - 1
 	return nil
 }
 
-func (e *Engine) record(kind string, qs []int, zone, zoneB int, start, dur float64) {
+// record appends a trace entry when tracing is on. It takes the (at most
+// two) qubits as plain ints — q2 is -1 for one-qubit ops — so untraced runs,
+// the steady state of every compile, build no []int argument at all: the
+// Qubits slice is only materialised inside the keepOp branch.
+func (e *Engine) record(kind string, q1, q2 int, zone, zoneB int, start, dur float64) {
 	if e.keepOp {
-		e.trace = append(e.trace, Op{Kind: kind, Qubits: append([]int(nil), qs...), Zone: zone, ZoneB: zoneB, StartUS: start, DurUS: dur})
+		qs := []int{q1}
+		if q2 >= 0 {
+			qs = append(qs, q2)
+		}
+		e.trace = append(e.trace, Op{Kind: kind, Qubits: qs, Zone: zone, ZoneB: zoneB, StartUS: start, DurUS: dur})
 	}
 }
 
-// indexInChain returns q's index within its chain.
+// indexInChain returns q's index within its chain. O(1): the engine tracks
+// every qubit's chain position through Place/Move/InsertedSwap instead of
+// scanning the chain (CheckConsistency still audits the tracked positions
+// against the chains themselves).
 func (e *Engine) indexInChain(q int) int {
-	z := e.loc[q]
-	for i, ion := range e.chains[z] {
-		if ion == q {
-			return i
-		}
+	if e.loc[q] == -1 {
+		panic(fmt.Sprintf("sim: chain index of unplaced qubit %d", q))
 	}
-	panic(fmt.Sprintf("sim: qubit %d not found in its zone %d chain", q, z))
+	return e.idx[q]
 }
 
 // Move shuttles q from its current zone to dst, paying chain swaps to reach
@@ -221,7 +233,7 @@ func (e *Engine) Move(q, dst int, distanceUM float64) error {
 	for s := 0; s < swaps; s++ {
 		e.heat[src] += p.SwapHeat
 		e.metrics.Fidelity.MulLog(p.ShuttleLogF(p.SwapTimeUS, p.SwapHeat))
-		e.record("chainswap", []int{q}, src, -1, t, p.SwapTimeUS)
+		e.record("chainswap", q, -1, src, -1, t, p.SwapTimeUS)
 		t += p.SwapTimeUS
 	}
 	e.metrics.ChainSwaps += swaps
@@ -229,7 +241,7 @@ func (e *Engine) Move(q, dst int, distanceUM float64) error {
 	// Split from the source chain.
 	e.heat[src] += p.SplitHeat
 	e.metrics.Fidelity.MulLog(p.ShuttleLogF(p.SplitTimeUS, p.SplitHeat))
-	e.record("split", []int{q}, src, -1, t, p.SplitTimeUS)
+	e.record("split", q, -1, src, -1, t, p.SplitTimeUS)
 	t += p.SplitTimeUS
 	srcFree := t // source zone is free once the ion has split off
 
@@ -237,13 +249,13 @@ func (e *Engine) Move(q, dst int, distanceUM float64) error {
 	mt := p.MoveTimeUS(distanceUM)
 	e.heat[dst] += p.MoveHeat
 	e.metrics.Fidelity.MulLog(p.ShuttleLogF(mt, p.MoveHeat))
-	e.record("move", []int{q}, dst, src, t, mt)
+	e.record("move", q, -1, dst, src, t, mt)
 	t += mt
 
 	// Merge into the destination chain.
 	e.heat[dst] += p.MergeHeat
 	e.metrics.Fidelity.MulLog(p.ShuttleLogF(p.MergeTimeUS, p.MergeHeat))
-	e.record("merge", []int{q}, dst, src, t, p.MergeTimeUS)
+	e.record("merge", q, -1, dst, src, t, p.MergeTimeUS)
 	t += p.MergeTimeUS
 
 	e.metrics.Shuttles++
@@ -251,11 +263,17 @@ func (e *Engine) Move(q, dst int, distanceUM float64) error {
 	e.availZ[dst] = t
 	e.availQ[q] = t
 
-	// Update occupancy: remove from src preserving order, append at dst edge.
+	// Update occupancy: remove from src preserving order (re-indexing the
+	// ions that shift down), append at dst edge.
 	chain := e.chains[src]
-	e.chains[src] = append(chain[:idx], chain[idx+1:]...)
+	for j := idx; j < len(chain)-1; j++ {
+		chain[j] = chain[j+1]
+		e.idx[chain[j]] = j
+	}
+	e.chains[src] = chain[:len(chain)-1]
 	e.chains[dst] = append(e.chains[dst], q)
 	e.loc[q] = dst
+	e.idx[q] = len(e.chains[dst]) - 1
 	return nil
 }
 
@@ -268,7 +286,7 @@ func (e *Engine) Gate1(q int) error {
 	p := e.params
 	start := maxf(e.availZ[z], e.availQ[q])
 	e.metrics.Fidelity.MulLog(p.Gate1LogF(p.BackgroundLogF(e.heat[z])))
-	e.record("gate1", []int{q}, z, -1, start, p.Gate1TimeUS)
+	e.record("gate1", q, -1, z, -1, start, p.Gate1TimeUS)
 	end := start + p.Gate1TimeUS
 	e.availZ[z] = end
 	e.availQ[q] = end
@@ -304,7 +322,7 @@ func (e *Engine) Gate2(a, b int) error {
 	start := maxf(e.availZ[za], e.availQ[a], e.availQ[b])
 	n := len(e.chains[za])
 	e.metrics.Fidelity.MulLog(p.Gate2LogF(n, p.BackgroundLogF(e.heat[za])))
-	e.record("gate2", []int{a, b}, za, -1, start, p.Gate2TimeUS)
+	e.record("gate2", a, b, za, -1, start, p.Gate2TimeUS)
 	end := start + p.Gate2TimeUS
 	e.availZ[za] = end
 	e.availQ[a] = end
@@ -333,7 +351,7 @@ func (e *Engine) Fiber(a, b int) error {
 	p := e.params
 	start := maxf(e.availZ[za], e.availZ[zb], e.availQ[a], e.availQ[b])
 	e.metrics.Fidelity.MulLog(p.FiberLogF(p.BackgroundLogF(e.heat[za]), p.BackgroundLogF(e.heat[zb])))
-	e.record("fiber", []int{a, b}, za, zb, start, p.FiberTimeUS)
+	e.record("fiber", a, b, za, zb, start, p.FiberTimeUS)
 	end := start + p.FiberTimeUS
 	e.availZ[za] = end
 	e.availZ[zb] = end
@@ -359,6 +377,7 @@ func (e *Engine) InsertedSwap(a, b int) error {
 	ia, ib := e.indexInChain(a), e.indexInChain(b)
 	e.chains[za][ia], e.chains[zb][ib] = b, a
 	e.loc[a], e.loc[b] = zb, za
+	e.idx[a], e.idx[b] = ib, ia
 	// Their availability timestamps travel with the logical qubits and are
 	// already equal after the three fiber ops.
 	return nil
@@ -389,13 +408,16 @@ func (e *Engine) CheckConsistency() error {
 		if len(chain) > e.zones[z].Capacity {
 			return fmt.Errorf("sim: zone %d over capacity: %d > %d", z, len(chain), e.zones[z].Capacity)
 		}
-		for _, q := range chain {
+		for i, q := range chain {
 			if prev, dup := seen[q]; dup {
 				return fmt.Errorf("sim: qubit %d in zones %d and %d", q, prev, z)
 			}
 			seen[q] = z
 			if e.loc[q] != z {
 				return fmt.Errorf("sim: qubit %d loc %d but found in zone %d", q, e.loc[q], z)
+			}
+			if e.idx[q] != i {
+				return fmt.Errorf("sim: qubit %d tracked at chain index %d but sits at %d in zone %d", q, e.idx[q], i, z)
 			}
 		}
 	}
