@@ -74,6 +74,25 @@ func compileBench(app string) func(b *testing.B) {
 	}
 }
 
+// compileTrivialBench is compileBench with the trivial initial mapping: one
+// scheduling pass instead of SABRE's four. The gap between this entry and
+// compile/<app> is the mapping search's cost — the overhead the shared
+// per-circuit prep (DAG + scheduler reuse across probe passes) trims.
+func compileTrivialBench(app string) func(b *testing.B) {
+	return func(b *testing.B) {
+		c := bench.MustByName(app)
+		dev := mussti.NewDevice(mussti.DeviceConfigFor(c.NumQubits))
+		opts := mussti.DefaultOptions()
+		opts.Mapping = mussti.MappingTrivial
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mussti.Compile(c, dev, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func main() {
 	out := flag.String("o", "BENCH_compile.json", `output path ("-" for stdout)`)
 	flag.Parse()
@@ -82,6 +101,7 @@ func main() {
 	r := report{Tool: "benchjson", Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	r.Benchmarks = []entry{
 		measure("compile/QFT_n32", compileBench("QFT_n32")),
+		measure("compile/QFT_n32-trivialmap", compileTrivialBench("QFT_n32")),
 		measure("compile/SQRT_n299", compileBench("SQRT_n299")),
 		measure("dag/build/SQRT_n299", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -46,6 +46,9 @@ func realMain() int {
 	parallel := flag.Bool("parallel", true, "fan measurements (and, in all-experiments mode, whole experiments) out over a worker pool")
 	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	cache := flag.Bool("cache", true, "dedupe identical measurement points across experiments (needs -parallel)")
+	distN := flag.Int("dist", 0, "distribute measurements across N spawned worker processes (implies -parallel)")
+	worker := flag.Bool("worker", false, "run as a distributed worker: read job envelopes on stdin, write measurement envelopes to stdout (what -dist coordinators spawn)")
+	cacheDir := flag.String("cachedir", "", "shared on-disk measurement cache directory: repeated runs and whole -dist fleets compile each point once, ever")
 	progress := flag.Bool("progress", false, "print per-job progress tick lines to stderr (needs -parallel)")
 	csvPath := flag.String("csv", "", "write every structured Measurement row to this CSV file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -86,6 +89,36 @@ func realMain() int {
 				fmt.Fprintln(os.Stderr, "experiments: -memprofile:", err)
 			}
 		}()
+	}
+
+	// Worker mode: the process is one member of a -dist fleet. It speaks
+	// the job-envelope protocol on stdin/stdout and exits when the
+	// coordinator closes the pipe. Jobs run through the same Runner path as
+	// everywhere else, so the worker's own memoization and the shared
+	// -cachedir store apply.
+	if *worker {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		r := mussti.NewRunner(1)
+		if !*cache {
+			r.DisableCache()
+		}
+		if *cacheDir != "" {
+			dc, err := mussti.NewDiskCache(*cacheDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return 1
+			}
+			r.SetDiskCache(dc)
+		}
+		if *progress {
+			r.SetProgress(os.Stderr)
+		}
+		if err := mussti.ServeWorker(ctx, os.Stdin, os.Stdout, r); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: worker:", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *list {
@@ -129,7 +162,39 @@ func realMain() int {
 		stop()
 	}()
 	var runner *mussti.Runner
-	if *parallel {
+	switch {
+	case *distN > 0:
+		// Distributed mode: the runner's pool is sized to the fleet and its
+		// jobs dispatch to spawned copies of this binary in worker mode.
+		// Scheduling, dedup and paper-order reassembly stay coordinator-side,
+		// so the rendered tables are byte-identical to any other mode.
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -dist:", err)
+			return 1
+		}
+		argv := []string{exe, "-worker"}
+		// -cache=false means "compile every point from scratch": the workers
+		// must not quietly serve stale measurements from the cache dir the
+		// coordinator just promised to ignore.
+		if *cacheDir != "" && *cache {
+			argv = append(argv, "-cachedir", *cacheDir)
+		}
+		coord, err := mussti.NewCoordinator(*distN, argv, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -dist:", err)
+			return 1
+		}
+		defer coord.Close()
+		runner = mussti.NewRunner(*distN)
+		runner.SetRemote(coord)
+		if !*cache {
+			runner.DisableCache()
+		}
+		if *progress {
+			runner.SetProgress(os.Stderr)
+		}
+	case *parallel:
 		runner = mussti.NewRunner(*jobs)
 		if !*cache {
 			runner.DisableCache()
@@ -137,8 +202,25 @@ func realMain() int {
 		if *progress {
 			runner.SetProgress(os.Stderr)
 		}
-	} else if *progress || !*cache {
-		fmt.Fprintln(os.Stderr, "experiments: -progress and -cache need -parallel; ignoring")
+	default:
+		if *progress || !*cache {
+			fmt.Fprintln(os.Stderr, "experiments: -progress and -cache need -parallel; ignoring")
+		}
+	}
+	if *cacheDir != "" {
+		switch {
+		case runner == nil:
+			fmt.Fprintln(os.Stderr, "experiments: -cachedir needs -parallel or -dist; ignoring")
+		case !*cache:
+			fmt.Fprintln(os.Stderr, "experiments: -cachedir needs -cache; ignoring")
+		default:
+			dc, err := mussti.NewDiskCache(*cacheDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return 1
+			}
+			runner.SetDiskCache(dc)
+		}
 	}
 
 	// run renders one experiment with its banner and timing footer, and
@@ -160,6 +242,12 @@ func realMain() int {
 		if runner != nil {
 			if hits, misses := runner.CacheStats(); hits > 0 {
 				fmt.Fprintf(os.Stderr, "experiments: measurement cache served %d of %d points without compiling\n",
+					hits, hits+misses)
+			}
+			// The disk line is the contract the CI dist-smoke job greps: a
+			// second run against a warm -cachedir must report hits == total.
+			if hits, misses := runner.DiskCacheStats(); hits+misses > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: disk cache served %d of %d points\n",
 					hits, hits+misses)
 			}
 		}

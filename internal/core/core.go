@@ -80,7 +80,11 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, d *arch.Device, opt
 	}
 	start := time.Now()
 
-	candidates, err := candidateMappings(ctx, c, d, opts)
+	// One prep serves every pass over c in this compile — the SABRE forward
+	// probe and each candidate production run — via Graph.Reset; only the
+	// reversed probe circuit needs its own build.
+	p := newPrep(c)
+	candidates, err := candidateMappings(ctx, p, d, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +94,7 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, d *arch.Device, opt
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		s, err := newScheduler(ctx, c, d, opts, initial)
+		s, err := newSchedulerWith(ctx, p, d, opts, initial)
 		if err != nil {
 			return nil, err
 		}
@@ -124,20 +128,20 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, d *arch.Device, opt
 // Compile keeps whichever schedule reaches the higher fidelity: the search
 // is a heuristic, and falling back costs only compile time (which the
 // Fig. 11 trade-off accounts for).
-func candidateMappings(ctx context.Context, c *circuit.Circuit, d *arch.Device, opts Options) ([][]int, error) {
+func candidateMappings(ctx context.Context, p *prep, d *arch.Device, opts Options) ([][]int, error) {
 	switch opts.Mapping {
 	case MappingTrivial:
-		m, err := trivialMapping(c.NumQubits, d)
+		m, err := trivialMapping(p.c.NumQubits, d)
 		if err != nil {
 			return nil, err
 		}
 		return [][]int{m}, nil
 	case MappingSABRE:
-		triv, err := trivialMapping(c.NumQubits, d)
+		triv, err := trivialMapping(p.c.NumQubits, d)
 		if err != nil {
 			return nil, err
 		}
-		sab, err := sabreMapping(ctx, c, d, opts)
+		sab, err := sabreMapping(ctx, p, d, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"mussti/internal/arch"
-	"mussti/internal/circuit"
 )
 
 // trivialMapping places qubits sequentially into zones ordered by level
@@ -61,7 +60,11 @@ func moduleBudget(d *arch.Device, m int) int {
 // circuit from π′ to obtain π″, and use π″ as the production run's initial
 // mapping. The reverse pass pre-loads qubits near their earliest
 // interactions, the "memory pre-loading" analogy of the paper.
-func sabreMapping(ctx context.Context, c *circuit.Circuit, d *arch.Device, opts Options) ([]int, error) {
+//
+// The forward probe replays the caller's prep (the production runs reuse
+// it again afterwards); only the reversed circuit — a different gate order,
+// hence a different DAG — builds its own.
+func sabreMapping(ctx context.Context, p *prep, d *arch.Device, opts Options) ([]int, error) {
 	probe := opts
 	probe.Mapping = MappingTrivial
 	probe.Trace = false
@@ -71,15 +74,15 @@ func sabreMapping(ctx context.Context, c *circuit.Circuit, d *arch.Device, opts 
 	// The probe passes only need placement dynamics, not SWAP insertion —
 	// but keeping insertion identical to the production run makes the
 	// final mapping consistent with how the run will actually behave.
-	trivial, err := trivialMapping(c.NumQubits, d)
+	trivial, err := trivialMapping(p.c.NumQubits, d)
 	if err != nil {
 		return nil, err
 	}
-	forward, err := runForMapping(ctx, c, d, probe, trivial)
+	forward, err := runForMapping(ctx, p, d, probe, trivial)
 	if err != nil {
 		return nil, fmt.Errorf("core: sabre forward pass: %w", err)
 	}
-	backward, err := runForMapping(ctx, c.Reverse(), d, probe, forward)
+	backward, err := runForMapping(ctx, newPrep(p.c.Reverse()), d, probe, forward)
 	if err != nil {
 		return nil, fmt.Errorf("core: sabre reverse pass: %w", err)
 	}
@@ -87,8 +90,8 @@ func sabreMapping(ctx context.Context, c *circuit.Circuit, d *arch.Device, opts 
 }
 
 // runForMapping executes one scheduling pass and returns the final mapping.
-func runForMapping(ctx context.Context, c *circuit.Circuit, d *arch.Device, opts Options, initial []int) ([]int, error) {
-	s, err := newScheduler(ctx, c, d, opts, initial)
+func runForMapping(ctx context.Context, p *prep, d *arch.Device, opts Options, initial []int) ([]int, error) {
+	s, err := newSchedulerWith(ctx, p, d, opts, initial)
 	if err != nil {
 		return nil, err
 	}

@@ -54,20 +54,50 @@ type scheduler struct {
 	wrowScratch []int
 }
 
+// prep is the per-circuit precomputation every scheduling pass needs: the
+// dependency DAG, the per-qubit gate lists and the next-two-qubit-use
+// tables. All three depend only on the circuit, so one compile builds them
+// once and replays them across every pass over that circuit — the SABRE
+// probe pass and each candidate-mapping production run — via Graph.Reset,
+// instead of rebuilding O(g) structures per pass.
+type prep struct {
+	c        *circuit.Circuit
+	g        *dag.Graph
+	perQubit [][]int
+	next2q   [][]int32
+}
+
+// newPrep builds the shared scheduling state for one circuit.
+func newPrep(c *circuit.Circuit) *prep {
+	p := &prep{c: c, g: dag.Build(c), perQubit: c.PerQubitGates()}
+	p.next2q = buildNextUseTables(c, p.perQubit)
+	return p
+}
+
 func newScheduler(ctx context.Context, c *circuit.Circuit, d *arch.Device, opts Options, initial []int) (*scheduler, error) {
+	return newSchedulerWith(ctx, newPrep(c), d, opts, initial)
+}
+
+// newSchedulerWith starts a scheduling pass over p's circuit, rewinding the
+// shared DAG to its unexecuted state. The prep's structures are read-only
+// to the pass (execution state lives in the scheduler and the graph's
+// resettable bookkeeping), so passes may reuse one prep back to back — but
+// not concurrently.
+func newSchedulerWith(ctx context.Context, p *prep, d *arch.Device, opts Options, initial []int) (*scheduler, error) {
+	p.g.Reset()
 	s := &scheduler{
 		ctx:      ctx,
-		c:        c,
+		c:        p.c,
 		d:        d,
 		opts:     opts,
-		eng:      sim.NewDeviceEngine(d, c.NumQubits, opts.Params),
-		g:        dag.Build(c),
+		eng:      sim.NewDeviceEngine(d, p.c.NumQubits, opts.Params),
+		g:        p.g,
 		obs:      ObserverOrNop(opts.Observer),
-		perQubit: c.PerQubitGates(),
-		cursor:   make([]int, c.NumQubits),
-		lastUsed: make([]int64, c.NumQubits),
+		perQubit: p.perQubit,
+		next2q:   p.next2q,
+		cursor:   make([]int, p.c.NumQubits),
+		lastUsed: make([]int64, p.c.NumQubits),
 	}
-	s.next2q = buildNextUseTables(c, s.perQubit)
 	for q, z := range initial {
 		if err := s.eng.Place(q, z); err != nil {
 			return nil, fmt.Errorf("core: initial mapping: %w", err)

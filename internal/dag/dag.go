@@ -149,10 +149,11 @@ func (g *Graph) reset() {
 }
 
 // Reset restores the graph to its unexecuted state so it can be scheduled
-// again without rebuilding. Today only benchmarks and the drain-replay
-// property test replay graphs; the SABRE two-fold search still rebuilds a
-// fresh Graph per probe pass and could adopt Reset as future headroom (see
-// ROADMAP).
+// again without rebuilding. The compiler leans on this: one compile replays
+// a single Graph across the SABRE forward probe and every candidate
+// production pass (core's per-circuit prep), so Reset runs on the compile
+// hot path — it must restore every piece of execution state (indegree,
+// executed flags, frontier, watermark) and nothing else.
 func (g *Graph) Reset() { g.reset() }
 
 // Remaining reports how many nodes have not been executed yet.

@@ -1,0 +1,262 @@
+// Package dist fans experiment jobs out across OS processes and machines.
+//
+// The experiment harness (internal/eval) already decomposes every table and
+// figure into independent, self-contained measurement jobs and reassembles
+// results in paper order; this package adds the two pieces a fleet needs on
+// top of that: a wire codec that moves jobs and measurements between
+// processes losslessly, and a coordinator/worker pair that speaks it.
+//
+// The protocol is deliberately minimal — newline-delimited JSON envelopes
+// over a worker process's stdin/stdout:
+//
+//	coordinator → worker:  {"v":1,"seq":N,"spec":{...}}\n
+//	worker → coordinator:  {"v":1,"seq":N,"measurement":{...}}\n
+//	                       {"v":1,"seq":N,"err":"..."}\n
+//
+// Each worker executes one job at a time through the same Runner path the
+// in-process pool uses (cancellation, memoization and the shared on-disk
+// cache intact), so a distributed run is byte-identical to a sequential
+// one. The envelope is versioned: a coordinator and worker disagreeing on
+// the format fail loudly instead of mis-measuring.
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"unicode/utf8"
+
+	"mussti/internal/arch"
+	"mussti/internal/core"
+	"mussti/internal/eval"
+	"mussti/internal/physics"
+)
+
+// EnvelopeVersion is the wire format version. Bump it when the envelope
+// layout (or the semantics of any field) changes; mixed fleets then error
+// on the first exchange instead of silently decoding wrong measurements.
+const EnvelopeVersion = 1
+
+// JobEnvelope is the wire form of one measurement job.
+type JobEnvelope struct {
+	// V is the format version; decoders reject any value other than
+	// EnvelopeVersion.
+	V int `json:"v"`
+	// Seq identifies the job within one coordinator/worker conversation;
+	// responses echo it, so a protocol desync is detected immediately.
+	Seq uint64 `json:"seq"`
+	// Spec is the resolved measurement spec.
+	Spec WireSpec `json:"spec"`
+}
+
+// WireSpec mirrors eval.CompileSpec field for field, spelled as its own
+// struct so the wire format is an explicit contract: a change to the spec
+// types must be reconciled here (and versioned) rather than silently
+// altering what old workers decode.
+type WireSpec struct {
+	App      string      `json:"app"`
+	Compiler string      `json:"compiler"`
+	Grid     *WireGrid   `json:"grid,omitempty"`
+	Arch     *WireArch   `json:"arch,omitempty"`
+	Config   *WireConfig `json:"config,omitempty"`
+}
+
+// WireGrid mirrors arch.Grid.
+type WireGrid struct {
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+	Capacity    int     `json:"capacity"`
+	TrapPitchUM float64 `json:"trapPitchUM"`
+}
+
+// WireArch mirrors arch.Config. A nil *WireArch encodes the zero Config
+// (the paper-default machine for the app's qubit count).
+type WireArch struct {
+	Modules          int     `json:"modules"`
+	TrapCapacity     int     `json:"trapCapacity"`
+	StorageZones     int     `json:"storageZones"`
+	OperationZones   int     `json:"operationZones"`
+	OpticalZones     int     `json:"opticalZones"`
+	OpticalCapacity  int     `json:"opticalCapacity"`
+	MaxIonsPerModule int     `json:"maxIonsPerModule"`
+	ZonePitchUM      float64 `json:"zonePitchUM"`
+}
+
+// WireConfig mirrors core.CompileConfig minus the Observer: callbacks
+// cannot cross a process boundary, and the cache key excludes them too —
+// observation never changes a measurement, so dropping the field keeps the
+// round-trip lossless for everything a measurement depends on.
+type WireConfig struct {
+	Mapping                 int            `json:"mapping"`
+	SwapInsertion           bool           `json:"swapInsertion"`
+	LookAhead               int            `json:"lookAhead"`
+	SwapThreshold           int            `json:"swapThreshold"`
+	Params                  physics.Params `json:"params"`
+	Trace                   bool           `json:"trace"`
+	Replacement             int            `json:"replacement"`
+	DisableRoutingLookAhead bool           `json:"disableRoutingLookAhead"`
+}
+
+// ResultEnvelope is the wire form of one job's outcome: exactly one of
+// Measurement and Err is set.
+type ResultEnvelope struct {
+	V           int               `json:"v"`
+	Seq         uint64            `json:"seq"`
+	Measurement *eval.Measurement `json:"measurement,omitempty"`
+	// Err carries a real job failure (bad app name, compiler invariant
+	// break) back as text; transport failures never produce an envelope.
+	Err string `json:"err,omitempty"`
+}
+
+// EncodeJob renders the job as a one-line envelope. Legacy Mussti/Baseline
+// spec jobs encode through their existing CompileSpec conversion, so both
+// API styles share one wire form. Jobs that fail to resolve are
+// unencodable and error here, before any dispatch.
+func EncodeJob(seq uint64, j eval.Job) ([]byte, error) {
+	s, err := j.Resolve()
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding job: %w", err)
+	}
+	// encoding/json silently rewrites invalid UTF-8 to U+FFFD, which would
+	// mutate the name (and the cache key) in transit. A name the codec
+	// cannot carry losslessly must fail loudly here instead.
+	if !utf8.ValidString(s.App) || !utf8.ValidString(s.Compiler) {
+		return nil, fmt.Errorf("dist: encoding job: app/compiler names must be valid UTF-8 (app %q, compiler %q)", s.App, s.Compiler)
+	}
+	env := JobEnvelope{V: EnvelopeVersion, Seq: seq, Spec: specToWire(s)}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding job: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeJob parses a job envelope. Malformed input — syntactically broken
+// JSON, unknown fields, version skew, trailing garbage — errors; it never
+// panics (the codec fuzz test pins that). The returned job carries the
+// decoded spec, whose cache key is identical to the encoded job's.
+func DecodeJob(data []byte) (uint64, eval.Job, error) {
+	var env JobEnvelope
+	if err := decodeStrict(data, &env); err != nil {
+		return 0, eval.Job{}, fmt.Errorf("dist: decoding job envelope: %w", err)
+	}
+	if env.V != EnvelopeVersion {
+		return 0, eval.Job{}, fmt.Errorf("dist: job envelope version %d, this build speaks %d", env.V, EnvelopeVersion)
+	}
+	spec := specFromWire(env.Spec)
+	return env.Seq, eval.Job{Spec: &spec}, nil
+}
+
+// EncodeResult renders a job outcome as a one-line envelope. A non-nil err
+// wins over the measurement.
+func EncodeResult(seq uint64, m eval.Measurement, jobErr error) ([]byte, error) {
+	env := ResultEnvelope{V: EnvelopeVersion, Seq: seq}
+	if jobErr != nil {
+		env.Err = jobErr.Error()
+		if env.Err == "" {
+			env.Err = "unknown error"
+		}
+	} else {
+		env.Measurement = &m
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encoding result: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeResult parses a result envelope; like DecodeJob it errors on any
+// malformed input and never panics.
+func DecodeResult(data []byte) (ResultEnvelope, error) {
+	var env ResultEnvelope
+	if err := decodeStrict(data, &env); err != nil {
+		return ResultEnvelope{}, fmt.Errorf("dist: decoding result envelope: %w", err)
+	}
+	if env.V != EnvelopeVersion {
+		return ResultEnvelope{}, fmt.Errorf("dist: result envelope version %d, this build speaks %d", env.V, EnvelopeVersion)
+	}
+	if (env.Measurement == nil) == (env.Err == "") {
+		return ResultEnvelope{}, fmt.Errorf("dist: result envelope needs exactly one of measurement and err")
+	}
+	return env, nil
+}
+
+// decodeStrict unmarshals with unknown fields rejected and trailing input
+// refused, so a truncated or corrupted stream fails instead of yielding a
+// half-decoded envelope.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after envelope")
+	}
+	return nil
+}
+
+func specToWire(s eval.CompileSpec) WireSpec {
+	w := WireSpec{App: s.App, Compiler: s.Compiler}
+	if s.Grid != nil {
+		w.Grid = &WireGrid{Rows: s.Grid.Rows, Cols: s.Grid.Cols, Capacity: s.Grid.Capacity, TrapPitchUM: s.Grid.TrapPitchUM}
+	}
+	if s.Arch != (arch.Config{}) {
+		w.Arch = &WireArch{
+			Modules:          s.Arch.Modules,
+			TrapCapacity:     s.Arch.TrapCapacity,
+			StorageZones:     s.Arch.StorageZones,
+			OperationZones:   s.Arch.OperationZones,
+			OpticalZones:     s.Arch.OpticalZones,
+			OpticalCapacity:  s.Arch.OpticalCapacity,
+			MaxIonsPerModule: s.Arch.MaxIonsPerModule,
+			ZonePitchUM:      s.Arch.ZonePitchUM,
+		}
+	}
+	if s.Config != nil {
+		w.Config = &WireConfig{
+			Mapping:                 int(s.Config.Mapping),
+			SwapInsertion:           s.Config.SwapInsertion,
+			LookAhead:               s.Config.LookAhead,
+			SwapThreshold:           s.Config.SwapThreshold,
+			Params:                  s.Config.Params,
+			Trace:                   s.Config.Trace,
+			Replacement:             int(s.Config.Replacement),
+			DisableRoutingLookAhead: s.Config.DisableRoutingLookAhead,
+		}
+	}
+	return w
+}
+
+func specFromWire(w WireSpec) eval.CompileSpec {
+	s := eval.CompileSpec{App: w.App, Compiler: w.Compiler}
+	if w.Grid != nil {
+		s.Grid = &arch.Grid{Rows: w.Grid.Rows, Cols: w.Grid.Cols, Capacity: w.Grid.Capacity, TrapPitchUM: w.Grid.TrapPitchUM}
+	}
+	if w.Arch != nil {
+		s.Arch = arch.Config{
+			Modules:          w.Arch.Modules,
+			TrapCapacity:     w.Arch.TrapCapacity,
+			StorageZones:     w.Arch.StorageZones,
+			OperationZones:   w.Arch.OperationZones,
+			OpticalZones:     w.Arch.OpticalZones,
+			OpticalCapacity:  w.Arch.OpticalCapacity,
+			MaxIonsPerModule: w.Arch.MaxIonsPerModule,
+			ZonePitchUM:      w.Arch.ZonePitchUM,
+		}
+	}
+	if w.Config != nil {
+		s.Config = &core.CompileConfig{
+			Mapping:                 core.MappingStrategy(w.Config.Mapping),
+			SwapInsertion:           w.Config.SwapInsertion,
+			LookAhead:               w.Config.LookAhead,
+			SwapThreshold:           w.Config.SwapThreshold,
+			Params:                  w.Config.Params,
+			Trace:                   w.Config.Trace,
+			Replacement:             core.ReplacementPolicy(w.Config.Replacement),
+			DisableRoutingLookAhead: w.Config.DisableRoutingLookAhead,
+		}
+	}
+	return s
+}

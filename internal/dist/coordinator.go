@@ -1,0 +1,350 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mussti/internal/eval"
+)
+
+// Coordinator owns a fleet of spawned worker processes and dispatches one
+// job per idle worker over the stdin/stdout envelope protocol. It
+// implements eval.RemoteExecutor, so plugging it into a Runner via
+// SetRemote turns the in-process pool into a multi-process one without
+// changing any scheduling semantics: the Runner still bounds concurrency,
+// memoizes, reports the deterministic first error and reassembles results
+// in paper order — the coordinator is pure transport plus fault handling.
+//
+// Fault model: a worker that dies mid-job (crash, OOM kill, machine loss
+// for remote shells) surfaces as a transport failure; the coordinator
+// reaps it, spawns a replacement to restore fleet capacity, and retries
+// the job on another worker up to MaxAttempts times. Real job errors —
+// a measurement that fails identically everywhere — are never retried;
+// they travel back inside result envelopes and surface exactly like an
+// in-process job failure.
+type Coordinator struct {
+	argv []string
+	opts CoordinatorOptions
+
+	seq  atomic.Uint64
+	idle chan *workerProc
+
+	mu     sync.Mutex
+	procs  map[*workerProc]struct{}
+	closed bool
+	// closeCh unblocks acquirers when the coordinator shuts down.
+	closeCh chan struct{}
+}
+
+// CoordinatorOptions tune fleet behaviour; the zero value is ready to use.
+type CoordinatorOptions struct {
+	// Stderr receives every worker's stderr (progress ticks, crash
+	// reports). Nil means the coordinator process's own stderr.
+	Stderr io.Writer
+	// Env is the environment for spawned workers; nil inherits the
+	// coordinator's.
+	Env []string
+	// MaxAttempts bounds how many workers one job may be dispatched to
+	// before the job is failed (0 means 3). Only worker deaths consume
+	// attempts; job errors are definitive on the first worker.
+	MaxAttempts int
+}
+
+// errClosed reports dispatch on a Close()d coordinator.
+var errClosed = errors.New("dist: coordinator closed")
+
+// NewCoordinator spawns n worker processes running argv (argv[0] is the
+// binary; a typical fleet runs the host binary itself with a -worker flag)
+// and returns the coordinator managing them. On any spawn failure the
+// already-started workers are cleaned up before the error returns. Close
+// must be called to reap the fleet.
+func NewCoordinator(n int, argv []string, opts *CoordinatorOptions) (*Coordinator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dist: coordinator needs at least one worker, got %d", n)
+	}
+	if len(argv) == 0 || argv[0] == "" {
+		return nil, fmt.Errorf("dist: coordinator needs a worker command")
+	}
+	c := &Coordinator{
+		argv:    append([]string(nil), argv...),
+		idle:    make(chan *workerProc, n),
+		procs:   make(map[*workerProc]struct{}),
+		closeCh: make(chan struct{}),
+	}
+	if opts != nil {
+		c.opts = *opts
+	}
+	if c.opts.MaxAttempts <= 0 {
+		c.opts.MaxAttempts = 3
+	}
+	for i := 0; i < n; i++ {
+		w, err := c.spawn()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.idle <- w
+	}
+	return c, nil
+}
+
+// Workers reports the fleet size.
+func (c *Coordinator) Workers() int { return cap(c.idle) }
+
+// workerProc is one spawned worker and its protocol streams.
+type workerProc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	out   *bufio.Reader
+	// term makes process termination idempotent: a job-level reap and a
+	// coordinator Close may race to shut the same worker down, and
+	// exec.Cmd tolerates neither double Wait nor concurrent Wait.
+	term sync.Once
+}
+
+// terminate shuts the worker process down and reaps it: stdin closes (a
+// worker between jobs exits on the EOF), and after the grace period the
+// process is killed. Zero grace kills immediately — the path for workers
+// whose state is unknown. terminate always returns with the process reaped.
+func (w *workerProc) terminate(grace time.Duration) {
+	w.term.Do(func() {
+		w.stdin.Close()
+		done := make(chan struct{})
+		go func() {
+			w.cmd.Wait()
+			close(done)
+		}()
+		if grace > 0 {
+			select {
+			case <-done:
+				return
+			case <-time.After(grace):
+			}
+		}
+		if w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+		<-done
+	})
+}
+
+// spawn starts one worker process and registers it for cleanup.
+func (c *Coordinator) spawn() (*workerProc, error) {
+	cmd := exec.Command(c.argv[0], c.argv[1:]...)
+	cmd.Env = c.opts.Env
+	if c.opts.Stderr != nil {
+		cmd.Stderr = c.opts.Stderr
+	} else {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: spawning worker: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: spawning worker: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: spawning worker: %w", err)
+	}
+	w := &workerProc{cmd: cmd, stdin: stdin, out: bufio.NewReader(stdout)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		w.terminate(0)
+		return nil, errClosed
+	}
+	c.procs[w] = struct{}{}
+	c.mu.Unlock()
+	return w, nil
+}
+
+// reap removes a dead (or dying) worker from the fleet and ensures the
+// process is gone.
+func (c *Coordinator) reap(w *workerProc) {
+	c.mu.Lock()
+	delete(c.procs, w)
+	c.mu.Unlock()
+	w.terminate(0)
+}
+
+// acquire waits for an idle worker.
+func (c *Coordinator) acquire(ctx context.Context) (*workerProc, error) {
+	select {
+	case w := <-c.idle:
+		return w, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.closeCh:
+		return nil, errClosed
+	}
+}
+
+// RunJob implements eval.RemoteExecutor: it encodes the job, dispatches it
+// to an idle worker, and decodes the response. A worker death mid-job
+// triggers a replacement spawn and a retry on another worker (bounded by
+// MaxAttempts); ctx cancellation kills the in-flight worker — aborting its
+// compile at the process level — and returns ctx.Err().
+func (c *Coordinator) RunJob(ctx context.Context, j eval.Job) (eval.Measurement, error) {
+	seq := c.seq.Add(1)
+	line, err := EncodeJob(seq, j)
+	if err != nil {
+		// Unencodable jobs fail like unresolvable ones in-process: a real
+		// job error, no dispatch, no retry.
+		return eval.Measurement{}, err
+	}
+	line = append(line, '\n')
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		w, err := c.acquire(ctx)
+		if err != nil {
+			return eval.Measurement{}, err
+		}
+		env, transportErr := c.dispatch(ctx, w, line, seq)
+		if transportErr == nil {
+			c.release(w)
+			if env.Err != "" {
+				return eval.Measurement{}, errors.New(env.Err)
+			}
+			return *env.Measurement, nil
+		}
+		// The worker is unusable — dead, cancelled mid-read, or speaking a
+		// broken protocol. Reap it; on cancellation stop there, otherwise
+		// restore fleet capacity and try the job elsewhere.
+		c.reap(w)
+		if ctx.Err() != nil {
+			return eval.Measurement{}, ctx.Err()
+		}
+		lastErr = transportErr
+		if nw, err := c.spawn(); err == nil {
+			c.release(nw)
+		} else if errors.Is(err, errClosed) {
+			return eval.Measurement{}, errClosed
+		} else {
+			lastErr = fmt.Errorf("%w (and respawning a worker failed: %v)", transportErr, err)
+			// If that failed respawn left the fleet empty, no acquire can
+			// ever succeed again: shut the coordinator down — waking every
+			// other blocked dispatcher with errClosed — instead of letting
+			// the retry loop hang on an idle channel nothing will refill.
+			c.mu.Lock()
+			alive := len(c.procs)
+			c.mu.Unlock()
+			if alive == 0 {
+				c.Close()
+				return eval.Measurement{}, fmt.Errorf("dist: worker fleet lost: %w", lastErr)
+			}
+		}
+	}
+	return eval.Measurement{}, fmt.Errorf("dist: job failed on %d workers: %w", c.opts.MaxAttempts, lastErr)
+}
+
+// release returns a healthy worker to the idle pool (or kills it if the
+// coordinator closed while the worker was busy).
+func (c *Coordinator) release(w *workerProc) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		c.reap(w)
+		return
+	}
+	select {
+	case c.idle <- w:
+	default:
+		// Cannot happen — the pool is sized to the fleet — but a full
+		// channel must not deadlock the caller.
+		c.reap(w)
+	}
+}
+
+// dispatch sends one encoded job to w and reads its response. Any returned
+// error is a transport failure: the job's fate on this worker is unknown
+// and the worker must be discarded.
+func (c *Coordinator) dispatch(ctx context.Context, w *workerProc, line []byte, seq uint64) (ResultEnvelope, error) {
+	if _, err := w.stdin.Write(line); err != nil {
+		return ResultEnvelope{}, fmt.Errorf("dist: writing job to worker: %w", err)
+	}
+	type readResult struct {
+		line []byte
+		err  error
+	}
+	ch := make(chan readResult, 1)
+	go func() {
+		resp, err := w.out.ReadBytes('\n')
+		ch <- readResult{resp, err}
+	}()
+	var resp readResult
+	select {
+	case resp = <-ch:
+	case <-ctx.Done():
+		// Abort the in-flight compile at the process level; the pending
+		// read then fails and the goroutine exits through the buffered
+		// channel. The caller reaps the worker.
+		return ResultEnvelope{}, ctx.Err()
+	case <-c.closeCh:
+		return ResultEnvelope{}, errClosed
+	}
+	if resp.err != nil {
+		return ResultEnvelope{}, fmt.Errorf("dist: worker died mid-job: %w", resp.err)
+	}
+	env, err := DecodeResult(resp.line)
+	if err != nil {
+		return ResultEnvelope{}, err
+	}
+	if env.Seq != seq {
+		return ResultEnvelope{}, fmt.Errorf("dist: worker answered job %d while %d was outstanding", env.Seq, seq)
+	}
+	return env, nil
+}
+
+// closeGrace is how long Close waits for workers to exit on stdin EOF
+// before killing them.
+const closeGrace = 3 * time.Second
+
+// Close shuts the fleet down: every worker's stdin closes (idle workers
+// exit immediately on EOF), stragglers are killed after a short grace
+// period, and all processes are reaped before Close returns — no orphans
+// survive it. Close is idempotent and safe to call concurrently with
+// RunJob, which then fails with a closed-coordinator error.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.closeCh)
+	procs := make([]*workerProc, 0, len(c.procs))
+	for w := range c.procs {
+		procs = append(procs, w)
+	}
+	c.procs = make(map[*workerProc]struct{})
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, w := range procs {
+		wg.Add(1)
+		go func(w *workerProc) {
+			defer wg.Done()
+			w.terminate(closeGrace)
+		}(w)
+	}
+	wg.Wait()
+	// Drain the idle pool; its workers were reaped above.
+	for {
+		select {
+		case <-c.idle:
+		default:
+			return nil
+		}
+	}
+}

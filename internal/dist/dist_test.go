@@ -1,0 +1,301 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mussti/internal/arch"
+	"mussti/internal/eval"
+)
+
+// TestWorkerHelper is not a test: it is the worker process the coordinator
+// tests spawn, entered by re-executing the test binary with
+// -test.run=^TestWorkerHelper$ and MUSSTI_DIST_HELPER=1. It speaks the
+// envelope protocol on stdin/stdout and exits the process directly so the
+// testing framework's trailing output never pollutes the protocol stream.
+//
+// MUSSTI_DIST_CRASH_LOCK, when set, makes exactly one worker of the fleet
+// die mid-job: the first process to create the lock file (O_EXCL arbitrates
+// across the fleet) reads one job envelope and exits without answering —
+// the deterministic stand-in for a worker crashing or its machine dying.
+func TestWorkerHelper(t *testing.T) {
+	if os.Getenv("MUSSTI_DIST_HELPER") != "1" {
+		t.Skip("re-exec helper for the coordinator tests, not a test")
+	}
+	if lock := os.Getenv("MUSSTI_DIST_CRASH_LOCK"); lock != "" {
+		if f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644); err == nil {
+			f.Close()
+			bufio.NewReader(os.Stdin).ReadBytes('\n') // die only after a job arrived
+			os.Exit(3)
+		}
+	}
+	r := eval.NewRunner(1)
+	if dir := os.Getenv("MUSSTI_DIST_CACHEDIR"); dir != "" {
+		dc, err := eval.NewDiskCache(dir)
+		if err != nil {
+			os.Exit(1)
+		}
+		r.SetDiskCache(dc)
+	}
+	if err := ServeWorker(context.Background(), os.Stdin, os.Stdout, r); err != nil {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// helperCoordinator spawns a coordinator whose workers are re-executions of
+// this test binary in worker-helper mode.
+func helperCoordinator(t *testing.T, n int, extraEnv ...string) *Coordinator {
+	t.Helper()
+	argv := []string{os.Args[0], "-test.run=^TestWorkerHelper$"}
+	env := append(os.Environ(), "MUSSTI_DIST_HELPER=1")
+	env = append(env, extraEnv...)
+	c, err := NewCoordinator(n, argv, &CoordinatorOptions{Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// testJobs is a small mixed workload: two compilers, two grids, six jobs —
+// enough to exercise both workers of a two-worker fleet and give retries
+// somewhere to land.
+func testJobs() []eval.Job {
+	g22 := arch.MustNewGrid(2, 2, 12)
+	g23 := arch.MustNewGrid(2, 3, 8)
+	var jobs []eval.Job
+	for _, app := range []string{"GHZ_n32", "BV_n32", "QAOA_n32"} {
+		for _, g := range []*arch.Grid{g22, g23} {
+			s := eval.CompileSpec{App: app, Compiler: "mussti", Grid: g}
+			jobs = append(jobs, eval.Job{Spec: &s})
+		}
+	}
+	return jobs
+}
+
+// sameMeasurement compares two measurements modulo CompileTime — the one
+// deliberately nondeterministic field (wall clock), which no deterministic
+// experiment renders (fig10/fig11 are Serial and never reach a remote).
+func sameMeasurement(a, b eval.Measurement) bool {
+	a.CompileTime, b.CompileTime = 0, 0
+	return a == b
+}
+
+// TestCoordinatorMatchesLocalExecution: the same job list run through a
+// worker fleet and run in-process must produce identical measurements, in
+// identical (paper) order.
+func TestCoordinatorMatchesLocalExecution(t *testing.T) {
+	jobs := testJobs()
+	local, err := (*eval.Runner)(nil).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := helperCoordinator(t, 2)
+	r := eval.NewRunner(2)
+	r.SetRemote(coord)
+	distributed, err := r.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) != len(distributed) {
+		t.Fatalf("local %d measurements, distributed %d", len(local), len(distributed))
+	}
+	for i := range local {
+		if !sameMeasurement(local[i], distributed[i]) {
+			t.Errorf("job %d differs:\nlocal       %+v\ndistributed %+v", i, local[i], distributed[i])
+		}
+	}
+}
+
+// TestWorkerDeathRetry is the fault-injection test: one worker of the fleet
+// dies mid-job (after receiving it), and the coordinator must reassign that
+// job to another worker, restore fleet capacity, and still hand back every
+// measurement in paper order.
+func TestWorkerDeathRetry(t *testing.T) {
+	lock := tempPath(t, "crash-once")
+	jobs := testJobs()
+	local, err := (*eval.Runner)(nil).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := helperCoordinator(t, 2, "MUSSTI_DIST_CRASH_LOCK="+lock)
+	r := eval.NewRunner(2)
+	r.SetRemote(coord)
+	distributed, err := r.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("run did not survive a worker death: %v", err)
+	}
+	if _, err := os.Stat(lock); err != nil {
+		t.Fatalf("crash lock untouched — the fault was never injected: %v", err)
+	}
+	for i := range local {
+		if !sameMeasurement(local[i], distributed[i]) {
+			t.Errorf("job %d differs after retry:\nlocal       %+v\ndistributed %+v", i, local[i], distributed[i])
+		}
+	}
+	// The dead worker must have been replaced: the fleet is back to size.
+	coord.mu.Lock()
+	alive := len(coord.procs)
+	coord.mu.Unlock()
+	if alive != 2 {
+		t.Errorf("fleet has %d workers after a death, want 2 (replacement spawned)", alive)
+	}
+}
+
+// TestJobErrorsAreNotRetried: a job that fails for real (unknown app) must
+// surface its error without consuming a worker — errors are facts, not
+// faults.
+func TestJobErrorsAreNotRetried(t *testing.T) {
+	coord := helperCoordinator(t, 1)
+	s := eval.CompileSpec{App: "NoSuchApp_n5", Compiler: "mussti"}
+	_, err := coord.RunJob(context.Background(), eval.Job{Spec: &s})
+	if err == nil {
+		t.Fatal("unknown app succeeded remotely")
+	}
+	if !strings.Contains(err.Error(), "unknown family") {
+		t.Errorf("error lost its text crossing the wire: %v", err)
+	}
+	// The worker answered (it did not die), so the fleet must be intact and
+	// immediately reusable.
+	s2 := eval.CompileSpec{App: "GHZ_n32", Compiler: "mussti", Grid: arch.MustNewGrid(2, 2, 12)}
+	if _, err := coord.RunJob(context.Background(), eval.Job{Spec: &s2}); err != nil {
+		t.Errorf("fleet unusable after a job error: %v", err)
+	}
+}
+
+// TestCancelLeavesNoOrphansOrGoroutines is PR 2's cancellation discipline
+// extended across process boundaries: cancelling the coordinator's context
+// mid-compile must abort promptly, kill the in-flight worker process, and
+// — after Close — leave neither orphaned worker processes nor leaked
+// goroutines behind.
+func TestCancelLeavesNoOrphansOrGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	coord := helperCoordinator(t, 2)
+
+	// Snapshot the fleet's PIDs while it is alive.
+	pids := coordPIDs(coord)
+	if len(pids) != 2 {
+		t.Fatalf("expected 2 worker PIDs, got %v", pids)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := eval.CompileSpec{App: "SQRT_n299", Compiler: "mussti"} // ~300ms compile: plenty of time to cancel mid-job
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := coord.RunJob(ctx, eval.Job{Spec: &s})
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled RunJob returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunJob did not return after cancellation")
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every worker process must be gone (kill(pid, 0) fails for reaped
+	// PIDs). A brief retry loop absorbs scheduler lag.
+	deadline := time.Now().Add(3 * time.Second)
+	for _, pid := range pids {
+		for syscall.Kill(pid, 0) == nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker PID %d still alive after Close", pid)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// And the coordinator's goroutines must drain.
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after cancelled run + Close", before, runtime.NumGoroutine())
+}
+
+// TestFleetLostFailsInsteadOfHanging: when the last worker dies AND its
+// replacement cannot spawn (worker binary gone — rebuilt mid-run, deleted,
+// fork limits), RunJob must fail with an error rather than block forever on
+// an idle pool nothing will ever refill.
+func TestFleetLostFailsInsteadOfHanging(t *testing.T) {
+	// A stand-in worker that dies on its first job: reads one line, exits.
+	script := filepath.Join(t.TempDir(), "dying-worker.sh")
+	if err := os.WriteFile(script, []byte("#!/bin/sh\nread line\nexit 3\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(1, []string{script}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	// The fleet is up; now make every respawn fail.
+	if err := os.Remove(script); err != nil {
+		t.Fatal(err)
+	}
+	s := eval.CompileSpec{App: "GHZ_n32", Compiler: "mussti", Grid: arch.MustNewGrid(2, 2, 12)}
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.RunJob(context.Background(), eval.Job{Spec: &s})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("job succeeded on a dead fleet")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunJob hung after the fleet was lost")
+	}
+}
+
+// TestCloseIdempotentAndFailsNewJobs: Close twice is fine; RunJob after
+// Close reports the closed coordinator instead of hanging.
+func TestCloseIdempotentAndFailsNewJobs(t *testing.T) {
+	coord := helperCoordinator(t, 1)
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := eval.CompileSpec{App: "GHZ_n32", Compiler: "mussti", Grid: arch.MustNewGrid(2, 2, 12)}
+	if _, err := coord.RunJob(context.Background(), eval.Job{Spec: &s}); !errors.Is(err, errClosed) {
+		t.Errorf("RunJob after Close: %v, want errClosed", err)
+	}
+}
+
+// coordPIDs snapshots the PIDs of the coordinator's live workers.
+func coordPIDs(c *Coordinator) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pids := make([]int, 0, len(c.procs))
+	for w := range c.procs {
+		if w.cmd.Process != nil {
+			pids = append(pids, w.cmd.Process.Pid)
+		}
+	}
+	return pids
+}
+
+// tempPath returns a path in a test temp dir that does not exist yet.
+func tempPath(t *testing.T, name string) string {
+	t.Helper()
+	return t.TempDir() + "/" + name
+}

@@ -1,0 +1,69 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+
+	"mussti/internal/eval"
+)
+
+// maxEnvelopeBytes bounds one protocol line. Envelopes are small (a spec is
+// a few hundred bytes), so the bound only guards against a corrupted stream
+// convincing the scanner to buffer without limit.
+const maxEnvelopeBytes = 8 << 20
+
+// ServeWorker runs the worker side of the protocol: it reads job envelopes
+// line by line from r, executes each through runner.RunJob — the exact path
+// the in-process pool drives, so context cancellation, observer ticks and
+// memoization (including a shared on-disk cache attached to the runner) all
+// apply — and writes one result envelope per job to w. Real job failures
+// travel back inside result envelopes; ServeWorker itself returns only on
+// r's EOF (nil), ctx cancellation, or a broken protocol stream (non-nil
+// error — the coordinator treats the process death as a transport failure
+// and reassigns the job).
+//
+// Jobs execute strictly in arrival order, one at a time: the coordinator
+// keeps at most one job outstanding per worker and runs N workers for
+// parallelism, which keeps the protocol free of interleaving rules.
+func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, runner *eval.Runner) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxEnvelopeBytes)
+	out := bufio.NewWriter(w)
+	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		seq, job, err := DecodeJob(line)
+		if err != nil {
+			// The stream itself is broken (a half-written line from a dying
+			// coordinator, version skew): abort rather than guess at what
+			// the peer meant.
+			return err
+		}
+		m, jobErr := runner.RunJob(ctx, job)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		resp, err := EncodeResult(seq, m, jobErr)
+		if err != nil {
+			return err
+		}
+		resp = append(resp, '\n')
+		if _, err := out.Write(resp); err != nil {
+			return fmt.Errorf("dist: worker writing result: %w", err)
+		}
+		if err := out.Flush(); err != nil {
+			return fmt.Errorf("dist: worker writing result: %w", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("dist: worker reading jobs: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// This file is the shared on-disk measurement cache. The in-memory Memo
+// dedupes points within one process; the DiskCache extends that across
+// processes and runs: every worker of a distributed fleet (internal/dist)
+// and every repeated suite invocation pointed at the same directory reads
+// and writes one store, so each (compiler, app, target, config) point
+// compiles once per fleet, ever.
+//
+// Entries are keyed by the same `compiler|app|target|config` strings the
+// Memo uses — pinned cross-process-stable by TestCacheKeysStableAcrossProcesses
+// — hashed to a filename. Writes go through an O_EXCL temp file plus an
+// atomic rename in the same directory, so concurrent writers (processes
+// included) can never expose a torn entry: a reader sees the old entry, no
+// entry, or the complete new one. Each entry echoes its full key and is
+// verified on read, so a hash collision or a foreign file degrades to a
+// cache miss, never a wrong measurement.
+
+// diskCacheVersion is the entry format version. Bump it when the entry
+// layout or the cache-key format changes; old entries then read as misses.
+const diskCacheVersion = 1
+
+// DiskCache is a measurement store shared by any number of processes
+// pointing at one directory. All methods are safe for concurrent use, in
+// and across processes.
+type DiskCache struct {
+	dir string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// diskEntry is the JSON layout of one cached measurement file.
+type diskEntry struct {
+	V           int         `json:"v"`
+	Key         string      `json:"key"`
+	Measurement Measurement `json:"measurement"`
+}
+
+// NewDiskCache opens (creating if needed) the cache directory.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("eval: disk cache needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("eval: disk cache: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (d *DiskCache) Dir() string { return d.dir }
+
+// Stats reports how many lookups were served from disk (hits) and how many
+// missed — misses are the points this process had to compile.
+func (d *DiskCache) Stats() (hits, misses int64) {
+	return d.hits.Load(), d.misses.Load()
+}
+
+// path maps a cache key to its entry file. Keys contain separators and can
+// be long, so the filename is the key's SHA-256; the entry itself echoes
+// the full key for verification.
+func (d *DiskCache) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(d.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get returns the cached measurement for key. Unreadable, corrupt,
+// version-skewed or key-mismatched entries all report a miss — the caller
+// recompiles and Put repairs the entry.
+func (d *DiskCache) Get(key string) (Measurement, bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		d.misses.Add(1)
+		return Measurement{}, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.V != diskCacheVersion || e.Key != key {
+		d.misses.Add(1)
+		return Measurement{}, false
+	}
+	d.hits.Add(1)
+	return e.Measurement, true
+}
+
+// Put persists the measurement for key. The write is atomic (temp file +
+// rename within the cache directory), so concurrent writers — including
+// other processes — race benignly: measurements are deterministic functions
+// of their key, so whichever rename lands last installs identical content.
+// An entry already present is left untouched.
+func (d *DiskCache) Put(key string, m Measurement) error {
+	path := d.path(key)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	data, err := json.Marshal(diskEntry{V: diskCacheVersion, Key: key, Measurement: m})
+	if err != nil {
+		return fmt.Errorf("eval: disk cache: encoding %q: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("eval: disk cache: %w", err)
+	}
+	if _, err = tmp.Write(data); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("eval: disk cache: writing %q: %w", key, err)
+	}
+	return nil
+}

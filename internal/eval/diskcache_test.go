@@ -1,0 +1,263 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// measurementFor derives a deterministic fake measurement from a key, so
+// any reader can verify an entry's integrity from its key alone — the
+// property the torn-read tests below lean on.
+func measurementFor(key string) Measurement {
+	return Measurement{App: key, Compiler: "fake", Qubits: len(key), Shuttles: 7 * len(key), TimeUS: float64(len(key)) * 1.5}
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dc, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dc.Get("missing"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	m := measurementFor("k1")
+	if err := dc.Put("k1", m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dc.Get("k1")
+	if !ok || got != m {
+		t.Fatalf("Get after Put: ok=%v, %+v", ok, got)
+	}
+	// Re-putting is a no-op, not an error.
+	if err := dc.Put("k1", m); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := dc.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats: %d hits %d misses, want 1/1", hits, misses)
+	}
+}
+
+// TestDiskCacheRejectsCorruptAndForeignEntries: a truncated file, garbage,
+// a version-skewed entry and a key mismatch (hash collision stand-in) must
+// all read as misses — never as wrong measurements.
+func TestDiskCacheRejectsCorruptAndForeignEntries(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Put("good", measurementFor("good")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want 1 entry, got %v (%v)", entries, err)
+	}
+	path := entries[0]
+
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "not json"},
+		{"truncated", `{"v":1,"key":"good","measure`},
+		{"version skew", `{"v":99,"key":"good","measurement":{}}`},
+		{"key mismatch", `{"v":1,"key":"evil","measurement":{}}`},
+	}
+	for _, c := range cases {
+		if err := os.WriteFile(path, []byte(c.data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := dc.Get("good"); ok {
+			t.Errorf("%s entry reported a hit", c.name)
+		}
+	}
+}
+
+// TestDiskCacheConcurrentHammer drives one cache from many goroutines under
+// -race: overlapping Puts and Gets on a small key set must race benignly —
+// every hit returns exactly the measurement its key derives.
+func TestDiskCacheConcurrentHammer(t *testing.T) {
+	dc, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, ops, keys = 8, 200, 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				key := "key-" + strconv.Itoa((g+i)%keys)
+				want := measurementFor(key)
+				if (g+i)%3 == 0 {
+					if err := dc.Put(key, want); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if m, ok := dc.Get(key); ok && m != want {
+					errs <- fmt.Errorf("torn read: key %s returned %+v", key, m)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDiskCacheHammerHelper is the subprocess body of the cross-process
+// test below: it hammers the shared directory named by the environment and
+// verifies every hit it sees. Not a test on its own.
+func TestDiskCacheHammerHelper(t *testing.T) {
+	dir := os.Getenv("MUSSTI_DISKCACHE_HAMMER_DIR")
+	if dir == "" {
+		t.Skip("re-exec helper for TestDiskCacheTwoProcesses, not a test")
+	}
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops, keys = 400, 16
+	for i := 0; i < ops; i++ {
+		key := "key-" + strconv.Itoa(i%keys)
+		want := measurementFor(key)
+		if err := dc.Put(key, want); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+		m, ok := dc.Get(key)
+		if !ok {
+			t.Fatalf("key %s missing right after Put", key)
+		}
+		if m != want {
+			t.Fatalf("torn read across processes: key %s returned %+v", key, m)
+		}
+	}
+}
+
+// TestDiskCacheTwoProcesses is the cross-process half of the atomic-rename
+// contract: two separate OS processes hammer one cache directory at once,
+// and no reader in either may ever observe a torn or corrupt entry. The
+// in-process goroutine hammer above covers the same interleavings under
+// -race; this covers real inter-process visibility.
+func TestDiskCacheTwoProcesses(t *testing.T) {
+	dir := t.TempDir()
+	var procs []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(os.Args[0], "-test.run=^TestDiskCacheHammerHelper$")
+		cmd.Env = append(os.Environ(), "MUSSTI_DISKCACHE_HAMMER_DIR="+dir)
+		out, err := os.CreateTemp(t.TempDir(), "hammer-out-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stdout, cmd.Stderr = out, out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, cmd)
+	}
+	for i, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			data, _ := os.ReadFile(cmd.Stdout.(*os.File).Name())
+			t.Fatalf("hammer process %d failed: %v\n%s", i, err, data)
+		}
+	}
+	// Post-mortem: every surviving entry file must parse and match its key.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("hammer left no entries behind")
+	}
+	for _, path := range entries {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e diskEntry
+		if err := json.Unmarshal(data, &e); err != nil {
+			t.Errorf("%s: corrupt entry: %v", filepath.Base(path), err)
+			continue
+		}
+		if e.Measurement != measurementFor(e.Key) {
+			t.Errorf("entry %s holds a measurement that does not match its key", e.Key)
+		}
+	}
+	// No temp files may survive either — a leftover tmp-* is an interrupted
+	// write that was also renamed-over or orphaned.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "tmp-*")); len(tmps) != 0 {
+		t.Errorf("leftover temp files: %v", tmps)
+	}
+}
+
+// TestMemoDiskLayer: a memo backed by a disk store serves a key computed by
+// an earlier memo (a "previous process") without calling the compute
+// function again — and singleflight still holds within each memo.
+func TestMemoDiskLayer(t *testing.T) {
+	dc, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := NewMemo()
+	first.SetDisk(dc)
+	want := measurementFor("point")
+	calls := 0
+	m, err := first.Do(context.Background(), "point", func() (Measurement, error) {
+		calls++
+		return want, nil
+	})
+	if err != nil || m != want || calls != 1 {
+		t.Fatalf("first compute: m=%+v err=%v calls=%d", m, err, calls)
+	}
+
+	second := NewMemo() // fresh memo = fresh process, same disk
+	second.SetDisk(dc)
+	m, err = second.Do(context.Background(), "point", func() (Measurement, error) {
+		calls++
+		return Measurement{}, fmt.Errorf("must not recompute")
+	})
+	if err != nil || m != want {
+		t.Fatalf("disk-served compute: m=%+v err=%v", m, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times across two memos sharing a disk, want 1", calls)
+	}
+	if hits, _ := dc.Stats(); hits != 1 {
+		t.Errorf("disk hits = %d, want 1", hits)
+	}
+}
+
+// TestMemoDiskLayerDoesNotPersistErrors: a failed compute must not poison
+// the shared store — errors are per-process outcomes.
+func TestMemoDiskLayerDoesNotPersistErrors(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := NewMemo()
+	mo.SetDisk(dc)
+	if _, err := mo.Do(context.Background(), "bad", func() (Measurement, error) {
+		return Measurement{}, fmt.Errorf("boom")
+	}); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if entries, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(entries) != 0 {
+		t.Errorf("error persisted to disk: %v", entries)
+	}
+}

@@ -1,0 +1,78 @@
+// Distribution-equivalence goldens: the same experiment run sequentially,
+// on the in-process pool, and across a fleet of worker processes must
+// render byte-identical text. This file lives in the external test package
+// because it exercises internal/dist, which imports eval.
+package eval_test
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"mussti/internal/dist"
+	"mussti/internal/eval"
+)
+
+// TestEvalDistWorkerHelper is the worker process the golden test spawns —
+// the test binary re-executed with MUSSTI_EVAL_DIST_HELPER=1. It exits the
+// process directly so testing-framework output never reaches the protocol
+// stream.
+func TestEvalDistWorkerHelper(t *testing.T) {
+	if os.Getenv("MUSSTI_EVAL_DIST_HELPER") != "1" {
+		t.Skip("re-exec helper for the distribution goldens, not a test")
+	}
+	if err := dist.ServeWorker(context.Background(), os.Stdin, os.Stdout, eval.NewRunner(1)); err != nil {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestDistributionEquivalenceGolden runs table2 and fig6 three ways —
+// strictly sequential, in-process parallel, and distributed over three
+// worker processes — and requires all three outputs byte-identical. This is
+// the acceptance gate for the whole dist subsystem: scheduling, wire codec,
+// reassembly and memoization may not perturb a single byte of the paper's
+// tables.
+func TestDistributionEquivalenceGolden(t *testing.T) {
+	coord, err := dist.NewCoordinator(3,
+		[]string{os.Args[0], "-test.run=^TestEvalDistWorkerHelper$"},
+		&dist.CoordinatorOptions{Env: append(os.Environ(), "MUSSTI_EVAL_DIST_HELPER=1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	for _, id := range []string{"table2", "fig6"} {
+		e, err := eval.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+
+		sequential, _, err := e.CollectContext(ctx, nil)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+
+		parallel, _, err := e.CollectContext(ctx, eval.NewRunner(3))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+
+		distRunner := eval.NewRunner(3)
+		distRunner.SetRemote(coord)
+		distributed, _, err := e.CollectContext(ctx, distRunner)
+		if err != nil {
+			t.Fatalf("%s distributed: %v", id, err)
+		}
+
+		if parallel != sequential {
+			t.Errorf("%s: in-process parallel output differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s",
+				id, sequential, parallel)
+		}
+		if distributed != sequential {
+			t.Errorf("%s: distributed output differs from sequential:\n--- sequential ---\n%s--- distributed ---\n%s",
+				id, sequential, distributed)
+		}
+	}
+}

@@ -32,6 +32,10 @@ import (
 type Memo struct {
 	mu      sync.Mutex
 	entries map[string]*memoEntry
+	// disk, when set, backs the in-memory entries with a store shared
+	// across processes: leaders consult it before computing and persist
+	// what they compute. See SetDisk.
+	disk *DiskCache
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -59,6 +63,15 @@ func (mo *Memo) Stats() (hits, misses int64) {
 	return mo.hits.Load(), mo.misses.Load()
 }
 
+// SetDisk attaches a shared on-disk store behind the in-memory cache: a
+// leader claiming a key reads the store before computing, and persists the
+// measurement after a successful compute. The singleflight layer stays in
+// front, so within one process each key touches the disk at most once per
+// outcome; across processes the store's atomic writes keep entries intact.
+// Call it before the memo sees traffic. Real errors are cached in memory
+// only — an error is this process's outcome, not a fleet-wide fact.
+func (mo *Memo) SetDisk(d *DiskCache) { mo.disk = d }
+
 // Do returns the measurement for key, computing it with fn at most once per
 // key across all concurrent callers. Real errors (bad app names, compiler
 // invariant failures) are cached like results; context cancellation is not:
@@ -84,6 +97,16 @@ func (mo *Memo) Do(ctx context.Context, key string, fn func() (Measurement, erro
 		mo.entries[key] = e
 		mo.mu.Unlock()
 
+		if mo.disk != nil {
+			if m, ok := mo.disk.Get(key); ok {
+				// Served from the shared store without compiling; the disk
+				// cache's own counters record it (memo hits/misses count
+				// in-process coalescing and compilations respectively).
+				e.m = m
+				close(e.done)
+				return m, nil
+			}
+		}
 		m, err := fn()
 		if err != nil && errors.Is(err, ctx.Err()) {
 			// Cancelled mid-compile: the measurement never happened, so
@@ -98,6 +121,11 @@ func (mo *Memo) Do(ctx context.Context, key string, fn func() (Measurement, erro
 		mo.misses.Add(1)
 		e.m, e.err = m, err
 		close(e.done)
+		if err == nil && mo.disk != nil {
+			// Best-effort persistence: a full disk or unwritable directory
+			// degrades the store to pass-through, never fails the run.
+			_ = mo.disk.Put(key, m)
+		}
 		return m, err
 	}
 }
@@ -112,15 +140,18 @@ func (j Job) cacheKey() (key string, ok bool) {
 	if err != nil {
 		return "", false
 	}
-	return s.cacheKey()
+	return s.CacheKey()
 }
 
-// cacheKey is `compiler|app|target|config`, each part rendered
+// CacheKey is `compiler|app|target|config`, each part rendered
 // deterministically (see arch.Target.CacheKey and CompileConfig.CacheKey),
-// so keys are stable across processes — the property a shared or remote
-// measurement cache needs. The Observer is excluded by CompileConfig.CacheKey:
-// observation never changes a measurement.
-func (s CompileSpec) cacheKey() (key string, ok bool) {
+// so keys are stable across processes — the property the shared on-disk
+// cache and the distributed wire codec (internal/dist) both build on: a
+// job envelope round-trips losslessly exactly when the decoded spec
+// reproduces this key. ok=false marks specs that must not be cached
+// (trace-recording runs, unknown compilers). The Observer is excluded by
+// CompileConfig.CacheKey: observation never changes a measurement.
+func (s CompileSpec) CacheKey() (key string, ok bool) {
 	comp, err := core.LookupCompiler(s.Compiler)
 	if err != nil {
 		return "", false

@@ -38,6 +38,12 @@ type Job struct {
 	Baseline *BaselineSpec
 }
 
+// Resolve normalises the job to the unified CompileSpec, whichever spec
+// style built it. Wire codecs (internal/dist) serialise the resolved spec,
+// so a legacy MusstiSpec/BaselineSpec job crosses process boundaries as the
+// same envelope its registry-style equivalent would.
+func (j Job) Resolve() (CompileSpec, error) { return j.resolve() }
+
 // resolve normalises the job to the unified CompileSpec, whichever spec
 // style built it. Every consumer — execution, cache keys, progress labels —
 // goes through this one conversion, so the three spec styles cannot drift.
@@ -146,6 +152,20 @@ type Runner struct {
 	sem      chan struct{}
 	memo     *Memo
 	progress *progressSink
+	remote   RemoteExecutor
+}
+
+// RemoteExecutor dispatches one job to an external execution substrate — a
+// fleet of worker processes (internal/dist), a remote service, anything that
+// can turn a Job into its Measurement. The runner keeps every scheduling
+// responsibility (worker pool bound, deterministic first-error semantics,
+// paper-order reassembly, memoization); the executor is pure transport, so
+// rendered output stays byte-identical to in-process execution.
+//
+// RunJob must honour ctx cancellation promptly and must be safe for
+// concurrent calls up to the runner's worker count.
+type RemoteExecutor interface {
+	RunJob(ctx context.Context, j Job) (Measurement, error)
 }
 
 // NewRunner returns a runner with the given concurrency; workers <= 0 means
@@ -188,6 +208,45 @@ func (r *Runner) CacheStats() (hits, misses int64) {
 // (the sink serialises writes).
 func (r *Runner) SetProgress(w io.Writer) { r.progress = newProgressSink(w) }
 
+// SetRemote routes job execution through x: the runner still schedules,
+// memoizes, reassembles and reports exactly as before, but the compile
+// itself happens wherever x dispatches it (a spawned worker process fleet
+// via internal/dist, typically). Call it before Run. Per-step progress ticks
+// cannot cross a process boundary, so with a remote set the progress sink
+// reports job completions only.
+func (r *Runner) SetRemote(x RemoteExecutor) { r.remote = x }
+
+// SetDiskCache backs the runner's measurement cache with a shared on-disk
+// store: cache misses consult dir before compiling, and every compiled
+// measurement is persisted for other processes (and later runs) to reuse.
+// The disk layer rides the in-memory memo, so DisableCache also disables it.
+func (r *Runner) SetDiskCache(d *DiskCache) {
+	if r.memo != nil {
+		r.memo.SetDisk(d)
+	}
+}
+
+// DiskCacheStats reports the on-disk cache's hit and miss counters; zeros
+// when no disk cache is attached.
+func (r *Runner) DiskCacheStats() (hits, misses int64) {
+	if r == nil || r.memo == nil || r.memo.disk == nil {
+		return 0, 0
+	}
+	return r.memo.disk.Stats()
+}
+
+// RunJob executes one job with the runner's cache, progress and remote
+// layers applied — the same path Run drives for every planned job, exposed
+// so distributed workers (internal/dist) execute received jobs with
+// identical semantics: context cancellation, observer ticks and memoization
+// intact. A nil runner executes the job bare.
+func (r *Runner) RunJob(ctx context.Context, j Job) (Measurement, error) {
+	if r == nil {
+		return j.run(ctx)
+	}
+	return r.runJob(ctx, j)
+}
+
 // runJob executes one job with the runner's cache and progress layers
 // applied.
 func (r *Runner) runJob(ctx context.Context, j Job) (Measurement, error) {
@@ -195,7 +254,15 @@ func (r *Runner) runJob(ctx context.Context, j Job) (Measurement, error) {
 	exec := j
 	if r.progress != nil {
 		prog = r.progress.job(j.label())
-		exec = j.withObserver(prog)
+		if r.remote == nil {
+			// Observers cannot cross a process boundary; remotely executed
+			// jobs report completion ticks only.
+			exec = j.withObserver(prog)
+		}
+	}
+	run := exec.run
+	if r.remote != nil {
+		run = func(ctx context.Context) (Measurement, error) { return r.remote.RunJob(ctx, j) }
 	}
 	var m Measurement
 	var err error
@@ -204,10 +271,10 @@ func (r *Runner) runJob(ctx context.Context, j Job) (Measurement, error) {
 		compiled = false
 		m, err = r.memo.Do(ctx, key, func() (Measurement, error) {
 			compiled = true
-			return exec.run(ctx)
+			return run(ctx)
 		})
 	} else {
-		m, err = exec.run(ctx)
+		m, err = run(ctx)
 	}
 	if prog != nil && err == nil {
 		prog.finish(!compiled)

@@ -57,26 +57,33 @@ func TestRunnerPreCancelled(t *testing.T) {
 }
 
 func TestRunnerCancelledMidRun(t *testing.T) {
-	// Enough jobs that cancellation lands while the pool is still working;
-	// the runner must return promptly (skipping unstarted jobs) instead of
-	// draining the whole list.
+	// Cancellation must land while the pool is still working; the runner
+	// must abort in-flight compiles and skip unstarted jobs instead of
+	// draining the whole list. Each job is a SQRT_n299 compile (~300ms —
+	// two orders of magnitude above the 5ms cancel delay, so the cancel
+	// always arrives mid-compile however fast the hardware; GHZ-sized jobs
+	// here became so cheap that a whole list could finish first).
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	r := NewRunner(2)
-	// The 500 jobs are identical; with the cache on they collapse into one
-	// compile and finish before the cancel can land.
+	// The jobs are identical; with the cache on they collapse into one
+	// compile.
 	r.DisableCache()
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{Mussti: &MusstiSpec{App: "SQRT_n299", Opts: core.DefaultOptions()}}
+	}
 	go func() {
 		time.Sleep(5 * time.Millisecond)
 		cancel()
 	}()
 	start := time.Now()
-	_, err := r.Run(ctx, ghzJobs(500))
+	_, err := r.Run(ctx, jobs)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	// 500 GHZ_n32 compiles take tens of seconds; a prompt abort finishes
-	// in a small fraction of that (the in-flight jobs still complete).
+	// Draining all four compiles would take >600ms on two workers; a
+	// prompt abort stops the in-flight ones within one scheduler step.
 	if elapsed := time.Since(start); elapsed > 10*time.Second {
 		t.Errorf("cancelled run took %s, want a prompt return", elapsed)
 	}

@@ -50,6 +50,7 @@ import (
 	"mussti/internal/circuit"
 	"mussti/internal/circuit/bench"
 	"mussti/internal/core"
+	"mussti/internal/dist"
 	"mussti/internal/eval"
 	"mussti/internal/physics"
 	"mussti/internal/sim"
@@ -431,3 +432,53 @@ func RunExperimentWith(ctx context.Context, id string, r *Runner, compilers []st
 func WriteMeasurementsCSV(w io.Writer, ms []Measurement) error {
 	return eval.WriteMeasurementsCSV(w, ms)
 }
+
+// Distributed execution: a Runner's jobs can execute in spawned worker
+// processes (on this machine or, via a remote shell in the worker command,
+// any other) instead of in-process goroutines. The Runner keeps every
+// scheduling responsibility, so distributed output is byte-identical to
+// sequential output. See cmd/experiments -dist / -worker / -cachedir for
+// the ready-made CLI wiring.
+type (
+	// Coordinator owns a fleet of spawned worker processes and dispatches
+	// experiment jobs to them; it implements RemoteExecutor, so hand it to
+	// Runner.SetRemote. Workers that die mid-job are replaced and their
+	// jobs retried.
+	Coordinator = dist.Coordinator
+	// CoordinatorOptions tune fleet behaviour (worker stderr destination,
+	// environment, retry bound); the zero value is ready to use.
+	CoordinatorOptions = dist.CoordinatorOptions
+	// RemoteExecutor dispatches one job to an external execution
+	// substrate; Runner.SetRemote accepts any implementation.
+	RemoteExecutor = eval.RemoteExecutor
+	// DiskCache is an on-disk measurement store shared by any number of
+	// processes; attach one via Runner.SetDiskCache so repeated runs and
+	// whole worker fleets compile each point once, ever.
+	DiskCache = eval.DiskCache
+	// CompileSpec describes one measurement point through the compiler
+	// registry — the unit the distributed wire protocol ships.
+	CompileSpec = eval.CompileSpec
+	// EvalJob is one independent measurement job of the experiment
+	// harness.
+	EvalJob = eval.Job
+)
+
+// NewCoordinator spawns n worker processes running argv (typically the
+// host binary itself with a -worker style flag) and returns the
+// coordinator managing them; pass it to Runner.SetRemote. Call Close to
+// reap the fleet.
+func NewCoordinator(n int, argv []string, opts *CoordinatorOptions) (*Coordinator, error) {
+	return dist.NewCoordinator(n, argv, opts)
+}
+
+// ServeWorker runs the worker side of the distributed protocol: it reads
+// job envelopes from r (the coordinator's pipe), executes them through
+// runner.RunJob — cancellation, memoization and any attached disk cache
+// intact — and writes measurement envelopes to w. It returns on r's EOF.
+func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, runner *Runner) error {
+	return dist.ServeWorker(ctx, r, w, runner)
+}
+
+// NewDiskCache opens (creating if needed) a shared on-disk measurement
+// cache directory; attach it with Runner.SetDiskCache.
+func NewDiskCache(dir string) (*DiskCache, error) { return eval.NewDiskCache(dir) }
