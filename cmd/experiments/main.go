@@ -226,13 +226,13 @@ func realMain() int {
 	// run renders one experiment with its banner and timing footer, and
 	// hands back its structured measurement rows for the CSV sink.
 	run := func(e mussti.ExperimentInfo) (string, []mussti.Measurement, error) {
-		start := time.Now()
+		start := time.Now() //mussti:allow=determinism wall-clock banner timing, not measured output
 		out, ms, err := e.CollectWith(ctx, runner, comps)
 		if err != nil {
 			return "", nil, fmt.Errorf("%s: %w", e.ID, err)
 		}
 		return fmt.Sprintf("== %s — %s ==\n\n%s(completed in %s)\n\n",
-			e.ID, e.Description, out, time.Since(start).Round(time.Millisecond)), ms, nil
+			e.ID, e.Description, out, time.Since(start).Round(time.Millisecond)), ms, nil //mussti:allow=determinism wall-clock banner timing, not measured output
 	}
 
 	var collected []mussti.Measurement

@@ -1,0 +1,231 @@
+// Command musstilint runs the repo-invariant lint suite (internal/analysis):
+// determinism, ctxflow, hotalloc and wirecompat.
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/musstilint ./...
+//
+// It exits 0 when the tree is clean, 1 when any diagnostic fires, 2 on load
+// failure. With -list it prints the analyzers and their one-line docs.
+//
+// The command also speaks the `go vet -vettool` protocol (-V=full, -flags,
+// and a *.cfg compilation-unit file), so the same binary plugs into the
+// standard vet driver:
+//
+//	go build -o /tmp/musstilint ./cmd/musstilint
+//	go vet -vettool=/tmp/musstilint ./...
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"mussti/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("musstilint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	version := fs.String("V", "", "print version and exit (go vet protocol; use -V=full)")
+	flagsJSON := fs.Bool("flags", false, "describe flags in JSON (go vet protocol)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: musstilint [packages]   (or, under go vet: -V=full | -flags | unit.cfg)\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	switch {
+	case *version != "":
+		return printVersion(*version)
+	case *flagsJSON:
+		// None of the suite's analyzers takes flags; report an empty list.
+		fmt.Println("[]")
+		return 0
+	case *list:
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetUnit(rest[0])
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	return runStandalone(rest)
+}
+
+// runStandalone loads packages from source via the go command and checks
+// them all in-process.
+func runStandalone(patterns []string) int {
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	broken := false
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			fmt.Fprintf(os.Stderr, "musstilint: %s: %v\n", pkg.PkgPath, e)
+			broken = true
+		}
+	}
+	if broken {
+		return 2
+	}
+	findings, err := analysis.Check(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the JSON compilation-unit description `go vet` hands a
+// vettool (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes the single compilation unit described by cfgFile.
+// Type information for imports comes from cfg.PackageFile, exactly as the
+// build system compiled it. The suite uses no cross-package facts, so the
+// vetx output is an empty placeholder (the file must exist for the go
+// command's caching).
+func runVetUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "musstilint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "musstilint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "musstilint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// The suite checks production code only — tests range over map-keyed
+	// cases and time things freely. go vet hands us test variants of each
+	// package too; dropping _test.go files makes vet mode agree with the
+	// standalone loader (and leaves external test units empty, hence clean).
+	files := cfg.GoFiles[:0]
+	for _, name := range cfg.GoFiles {
+		if !strings.HasSuffix(name, "_test.go") {
+			files = append(files, name)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	pkg := &analysis.Package{PkgPath: cfg.ImportPath, Fset: fset}
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "musstilint:", err)
+			return 2
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	imp := analysis.NewExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	var errs []error
+	pkg.Types, pkg.Info, errs = analysis.TypeCheck(fset, cfg.ImportPath, pkg.Files, imp)
+	if len(errs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "musstilint:", e)
+		}
+		return 2
+	}
+	findings, err := analysis.Check([]*analysis.Package{pkg}, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printVersion implements -V=full: the go command caches vet results keyed
+// by this line, so it must change whenever the tool's behavior does — the
+// executable's own hash guarantees that.
+func printVersion(mode string) int {
+	if mode != "full" {
+		fmt.Fprintf(os.Stderr, "musstilint: unsupported flag value: -V=%s (use -V=full)\n", mode)
+		return 2
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "musstilint:", err)
+		return 2
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "musstilint:", err)
+		return 2
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "musstilint:", err)
+		return 2
+	}
+	fmt.Printf("musstilint version devel buildID=%x\n", h.Sum(nil))
+	return 0
+}

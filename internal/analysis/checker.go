@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is one diagnostic that survived suppression filtering.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form, with
+// the analyzer name as a suffix tag so output lines are self-identifying.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+}
+
+// Check runs every analyzer over every error-free package and returns the
+// unsuppressed findings, ordered by file position. Packages that failed to
+// load or type-check are skipped — the caller reports pkg.Errors itself —
+// so analyzers never see partial type information.
+func Check(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			continue
+		}
+		// Suppression indexes, one per file, keyed by filename.
+		supp := make(map[string]suppressions, len(pkg.Files))
+		for _, f := range pkg.Files {
+			supp[pkg.Fset.Position(f.Package).Filename] = collectSuppressions(pkg.Fset, f)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				posn := pkg.Fset.Position(d.Pos)
+				if s, ok := supp[posn.Filename]; ok && s.allows(a.Name, posn.Line) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Position: posn, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			pass.Report = func(Diagnostic) { panic("analysis: Report called after Run returned") }
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

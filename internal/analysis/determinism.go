@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismAnalyzer protects the harness's headline invariant: experiment
+// output is byte-identical at any parallelism level, across processes and
+// cache states. Three nondeterminism sources are flagged:
+//
+//   - iteration over a map whose body feeds order-sensitive code (appends,
+//     non-commutative accumulation, calls with observable effects, early
+//     exits): Go randomizes map order per iteration, so any such loop can
+//     change output between runs. Order-insensitive bodies — integer
+//     counting, map-to-map rebuilds, constant flag sets — pass.
+//   - time.Now / time.Since: wall clock in measured code makes output vary
+//     by machine and load. Legitimately wall-clock results (the paper's
+//     Fig. 10/11 compile-time cells, progress displays) carry an allow
+//     directive naming why.
+//   - importing math/rand or math/rand/v2: unseeded global state. The
+//     repo's deterministic needs are served by explicit counters
+//     (core.splitMix64 with fixed seed).
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags order-sensitive map iteration, wall clock and math/rand in deterministic code",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				pass.Reportf(imp.Pos(), "import of %s: use a seeded, explicit generator so runs are reproducible", imp.Path.Value)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if obj := calleeObj(pass, n); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+					switch obj.Name() {
+					case "Now", "Since", "Until":
+						pass.Reportf(n.Pos(), "time.%s in deterministic code: wall clock varies across runs and machines", obj.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						if why := orderSensitive(pass, n); why != "" {
+							pass.Reportf(n.Pos(), "map iteration order is random and this loop %s; iterate sorted keys instead", why)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeObj resolves the called function's object, or nil for dynamic calls
+// and builtins.
+func calleeObj(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// orderSensitive reports why the body of a range-over-map loop depends on
+// iteration order, or "" when every statement is provably commutative. The
+// classification is conservative: anything it cannot prove order-free is
+// order-sensitive.
+func orderSensitive(pass *Pass, rng *ast.RangeStmt) (why string) {
+	// Variables declared inside the loop are private to one iteration;
+	// writes to them are order-free. Collect the loop's own declarations
+	// (including the key/value vars) by scope position.
+	inLoop := func(obj types.Object) bool {
+		return obj != nil && rng.Pos() <= obj.Pos() && obj.Pos() <= rng.End()
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pass.TypesInfo.Types[n.Fun].IsType() {
+				return true // conversion, not a call
+			}
+			obj := calleeObj(pass, n)
+			if b, ok := obj.(*types.Builtin); ok {
+				switch b.Name() {
+				case "len", "cap", "delete", "min", "max", "real", "imag", "complex":
+					return true
+				case "append":
+					why = "appends in iteration order"
+					return false
+				}
+				why = fmt.Sprintf("calls %s", b.Name())
+				return false
+			}
+			// Any other call may write output, append, or otherwise observe
+			// order; proving purity is out of scope.
+			name := "a function"
+			if obj != nil {
+				name = obj.Name()
+			}
+			why = fmt.Sprintf("calls %s, whose effects may observe iteration order", name)
+			return false
+		case *ast.SendStmt:
+			why = "sends on a channel in iteration order"
+			return false
+		case *ast.ReturnStmt:
+			why = "returns from inside the loop, picking a random element"
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				why = "exits the loop early, picking a random element"
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if why = assignSensitivity(pass, n.Tok, lhs, inLoop); why != "" {
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			// x++ / x-- commute (integer overflow wraps associatively).
+		case *ast.GoStmt, *ast.DeferStmt:
+			why = "launches work in iteration order"
+			return false
+		}
+		return true
+	})
+	return why
+}
+
+// assignSensitivity classifies one assignment target inside a map-range
+// body. tok is the assignment operator.
+func assignSensitivity(pass *Pass, tok token.Token, lhs ast.Expr, inLoop func(types.Object) bool) string {
+	lhs = ast.Unparen(lhs)
+	// Writes to loop-local variables are private to one iteration.
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return ""
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if inLoop(obj) {
+			return ""
+		}
+	}
+	// Storing under a key (m[k] = v, s[i] = v) lands each element at its own
+	// slot regardless of visit order.
+	if _, ok := lhs.(*ast.IndexExpr); ok {
+		return ""
+	}
+	t := pass.TypesInfo.TypeOf(lhs)
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+		token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		// Commutative-associative on integers; on floats the rounding (and
+		// on strings the concatenation) depends on order.
+		if t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+				return ""
+			}
+		}
+		return fmt.Sprintf("accumulates with %s on a non-integer, which is order-dependent", tok)
+	case token.ASSIGN, token.DEFINE:
+		return "overwrites a variable declared outside the loop (last writer depends on order)"
+	default:
+		return fmt.Sprintf("updates an outer variable with %s, which is order-dependent", tok)
+	}
+}

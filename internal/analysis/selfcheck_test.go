@@ -1,0 +1,31 @@
+package analysis
+
+import "testing"
+
+// TestRepoSelfCheck runs the full suite over the whole module and demands
+// silence — the executable form of the repo's invariants: deterministic
+// output, cancellation that reaches every scheduling loop, an
+// allocation-free compile hot path and a versioned wire format. A finding
+// here means either the tree regressed or an exemption needs an allow
+// directive with a reason; both belong in review, not in a green build.
+func TestRepoSelfCheck(t *testing.T) {
+	pkgs, err := Load("", "mussti/...")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.Errors {
+			t.Errorf("%s: %v", p.PkgPath, e)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	findings, err := Check(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

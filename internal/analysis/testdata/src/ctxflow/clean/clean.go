@@ -1,0 +1,32 @@
+// Package clean is the ctxflow analyzer's positive fixture: contexts
+// threaded end to end, and legitimate chain roots.
+package clean
+
+import "context"
+
+// Threaded passes its context straight through.
+func Threaded(ctx context.Context) error {
+	return leaf(ctx)
+}
+
+// Checked consumes the context itself.
+func Checked(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n * 2, nil
+}
+
+// Derived wraps the inbound context rather than replacing it.
+func Derived(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return leaf(sub)
+}
+
+// Root has no inbound context; starting a chain here is legitimate.
+func Root() error {
+	return leaf(context.Background())
+}
+
+func leaf(ctx context.Context) error { return ctx.Err() }

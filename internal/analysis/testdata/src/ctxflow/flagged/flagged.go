@@ -1,0 +1,33 @@
+// Package flagged is the ctxflow analyzer's negative fixture: entry points
+// that drop their context or restart the chain with a background one.
+package flagged
+
+import "context"
+
+// Dropped takes a context and never consumes it.
+func Dropped(ctx context.Context, n int) int { // want `Dropped never uses its context.Context parameter ctx`
+	return n * 2
+}
+
+// Blank discards the context by name.
+func Blank(_ context.Context, n int) int { // want `Blank discards its context.Context`
+	return n
+}
+
+// Detach checks its own context, then hands downstream work a fresh root.
+func Detach(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return leaf(context.Background()) // want `Detach has a context parameter but calls context.Background\(\)`
+}
+
+// DetachInClosure does the same inside a function literal it spawns.
+func DetachInClosure(ctx context.Context) func() error {
+	_ = ctx.Err()
+	return func() error {
+		return leaf(context.TODO()) // want `DetachInClosure has a context parameter but calls context.TODO\(\)`
+	}
+}
+
+func leaf(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,71 @@
+// Package clean is the determinism analyzer's positive fixture: map-range
+// bodies it must accept — commutative integer accumulation, keyed stores,
+// loop-local work — plus the allow directive for sanctioned exceptions.
+// The fixture test demands zero diagnostics here.
+package clean
+
+import (
+	"sort"
+	"time"
+)
+
+// Count tallies entries; integer increments commute.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Total sums integers; += on ints is order-free.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert rebuilds a map through keyed stores: each element lands in its own
+// slot no matter the visit order.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Prune deletes in place; the delete builtin commutes.
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Scale does loop-local arithmetic only.
+func Scale(m map[string]int, sink map[string]int) {
+	for k, v := range m {
+		doubled := v * 2
+		sink[k] = doubled
+	}
+}
+
+// SortedKeys is the sanctioned ordered iteration — collect, sort, then use —
+// with the directive documenting why the collection loop is safe.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //mussti:allow=determinism keys are sorted before use
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stamp demonstrates the wall-clock allow for reporting-only timing.
+func Stamp() time.Time {
+	return time.Now() //mussti:allow=determinism fixture: reporting metadata, not measured output
+}

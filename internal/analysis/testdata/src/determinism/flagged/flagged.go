@@ -1,0 +1,75 @@
+// Package flagged is the determinism analyzer's negative fixture: every
+// construct below must be reported. The `want` comments carry the expected
+// diagnostic as a regexp; the fixture test fails on any mismatch in either
+// direction.
+package flagged
+
+import (
+	"fmt"
+	"math/rand" // want `import of "math/rand"`
+	"time"
+)
+
+// Timestamp reads the wall clock.
+func Timestamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic code`
+}
+
+// Elapsed measures against the wall clock.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in deterministic code`
+}
+
+// Roll leans on the global generator (only the import is flagged).
+func Roll() int { return rand.Intn(6) }
+
+// Keys collects map keys in whatever order iteration visits them.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `overwrites a variable declared outside the loop`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Print renders entries in iteration order.
+func Print(m map[string]int) {
+	for k, v := range m { // want `calls Println, whose effects may observe iteration order`
+		fmt.Println(k, v)
+	}
+}
+
+// AnyKey returns whichever key iteration happens to visit first.
+func AnyKey(m map[string]int) string {
+	for k := range m { // want `returns from inside the loop, picking a random element`
+		return k
+	}
+	return ""
+}
+
+// Gather appends through a loop-local alias; the append itself is ordered.
+func Gather(m map[int]int, sink [][]int) {
+	for k := range m { // want `appends in iteration order`
+		row := sink[0]
+		row = append(row, k)
+		sink[0] = row
+	}
+}
+
+// SumFloats accumulates floats, whose rounding depends on visit order.
+func SumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates with \+= on a non-integer`
+		sum += v
+	}
+	return sum
+}
+
+// First exits the loop early, keeping a random element. (The keyed store
+// itself is order-free; the break is what picks an arbitrary element.)
+func First(m map[int]int, sink []int) {
+	for k := range m { // want `exits the loop early, picking a random element`
+		sink[0] = k
+		break
+	}
+}

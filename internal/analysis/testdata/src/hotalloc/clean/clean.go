@@ -1,0 +1,38 @@
+// Package clean is the hotalloc analyzer's positive fixture: a hot function
+// that stays allocation-free in steady state, and an unannotated one that
+// may allocate freely.
+package clean
+
+import "fmt"
+
+type table struct{ scratch []int }
+
+// Hot is annotated and steady-state allocation-free: value arrays stay on
+// the stack, the scratch growth branch carries an allow, and the error
+// literal sits on the failing path.
+//
+//mussti:hotpath
+func Hot(t *table, q int) error {
+	if q < 0 {
+		return fmt.Errorf("hot: negative qubit %d", q)
+	}
+	pair := [2]int{q, q + 1}
+	if cap(t.scratch) < q {
+		t.scratch = make([]int, q) //mussti:allow=hotalloc scratch grows to the largest query, then stays
+	}
+	row := t.scratch[:0]
+	for _, p := range pair {
+		row = append(row, p)
+	}
+	t.scratch = row
+	return nil
+}
+
+// Cold has no annotation; allocation here is nobody's business.
+func Cold(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+// Package flagged is the hotalloc analyzer's negative fixture: functions
+// annotated //mussti:hotpath whose bodies heap-allocate per call.
+package flagged
+
+import "fmt"
+
+type table struct{ rows []int }
+
+// Lookup allocates five different ways in steady state.
+//
+//mussti:hotpath
+func Lookup(t *table, q int) int {
+	weights := map[int]int{q: 1}   // want `map literal allocates per call`
+	ids := []int{q, q + 1}         // want `slice literal allocates per call`
+	box := &table{rows: ids}       // want `&table\{\.\.\.\} escapes to the heap per call`
+	buf := make([]int, q)          // want `make allocates per call`
+	label := fmt.Sprintf("q%d", q) // want `fmt.Sprintf formats and allocates per call`
+	return weights[q] + len(box.rows) + len(buf) + len(label)
+}
+
+// Key builds strings per call.
+//
+//mussti:hotpath
+func Key(prefix string, q int) int {
+	s := prefix + ":" // want `string concatenation allocates per call`
+	b := []byte(s)    // want `conversion copies per call`
+	return len(b) + q
+}
+
+// Each passes a capturing closure down per call.
+//
+//mussti:hotpath
+func Each(t *table, f func(int)) {
+	n := len(t.rows)
+	walk(func(i int) { f(i % n) }) // want `closure captures variables`
+}
+
+// Finish spawns and defers per call.
+//
+//mussti:hotpath
+func Finish(done chan<- int) {
+	go notify(done)    // want `starting a goroutine allocates per call`
+	defer notify(done) // want `defer costs per call`
+}
+
+func walk(f func(int))       { f(0) }
+func notify(done chan<- int) { done <- 1 }

@@ -1,0 +1,24 @@
+// Package clean is the wirecompat analyzer's positive fixture: a fully
+// tagged, versioned, checksum-pinned envelope built with field keys.
+package clean
+
+// EnvelopeVersion is the fixture wire version.
+const EnvelopeVersion = 1
+
+// wireChecksum pins the fixture schema; the fixture test fails if the
+// analyzer's fingerprint drifts from it.
+const wireChecksum = "29728728bf2a5851"
+
+// Envelope is the schema.
+//
+//mussti:wire
+type Envelope struct {
+	V    int    `json:"v"`
+	Name string `json:"name"`
+	Data []byte `json:"data,omitempty"`
+}
+
+// NewEnvelope builds one with keys.
+func NewEnvelope(v int, name string) Envelope {
+	return Envelope{V: v, Name: name}
+}

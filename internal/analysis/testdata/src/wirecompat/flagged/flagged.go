@@ -1,0 +1,38 @@
+// Package flagged is the wirecompat analyzer's negative fixture: a wire
+// schema with unserializable fields, implicit layout, a stale checksum and
+// a positional literal.
+package flagged
+
+// EnvelopeVersion is the fixture wire version.
+const EnvelopeVersion = 3
+
+// wireChecksum is stale on purpose: the analyzer recomputes the schema
+// fingerprint and demands the paste-in.
+const wireChecksum = "0000000000000000" // want `wireChecksum was not updated`
+
+// Envelope is the fixture schema.
+//
+//mussti:wire
+type Envelope struct {
+	Routing map[string]int `json:"routing"` // want `map field cannot cross the wire`
+	hidden  int            // want `unexported field hidden is silently dropped`
+	Bare    int            // want `field Bare needs an explicit json tag`
+}
+
+// Meta rides along unannotated; only its embedding below is the offence.
+type Meta struct {
+	Origin string `json:"origin"`
+}
+
+// Header embeds, flattening the wire layout implicitly.
+//
+//mussti:wire
+type Header struct {
+	Meta `json:"meta"` // want `embedded field flattens the wire layout implicitly`
+	Seq  uint64        `json:"seq"`
+}
+
+// NewEnvelope builds one positionally.
+func NewEnvelope() Envelope {
+	return Envelope{nil, 1, 2} // want `unkeyed composite literal of wire type Envelope`
+}

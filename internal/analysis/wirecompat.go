@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WirePackages names the packages whose exported struct types form a
+// cross-process wire format. Composite literals of these types must be
+// keyed everywhere in the repo: an unkeyed (positional) literal silently
+// changes meaning when a field is inserted — exactly the failure the
+// versioned envelope exists to prevent.
+var WirePackages = map[string]bool{
+	"mussti/internal/dist": true,
+}
+
+// WirecompatAnalyzer protects the versioned internal/dist wire format.
+// Structs annotated //mussti:wire are the envelope schema; the pass
+// enforces, per package that declares any:
+//
+//   - no map, chan, func or interface fields (not losslessly and
+//     deterministically serializable), no unexported fields (silently
+//     dropped by encoding/json), and an explicit json tag on every field —
+//     the wire layout must be spelled, not inferred;
+//   - an integer EnvelopeVersion constant and a string wireChecksum
+//     constant whose value matches a fingerprint of (version, every wire
+//     struct's fields in declaration order). Any schema edit therefore
+//     fails the lint with the new expected checksum in the message: pasting
+//     it in is the conscious "I versioned this change" act, and the diff
+//     shows checksum (and version, when compatibility breaks) next to the
+//     field change for review.
+//
+// Everywhere else, composite literals of WirePackages struct types must use
+// field keys.
+var WirecompatAnalyzer = &Analyzer{
+	Name: "wirecompat",
+	Doc:  "flags wire-envelope fields that break serializability and schema changes without a version/checksum bump",
+	Run:  runWirecompat,
+}
+
+func runWirecompat(pass *Pass) error {
+	wire := collectWireStructs(pass)
+	if len(wire) > 0 {
+		for _, ws := range wire {
+			checkWireFields(pass, ws)
+		}
+		checkChecksum(pass, wire)
+	}
+	checkKeyedLiterals(pass, wire)
+	return nil
+}
+
+// wireStruct is one //mussti:wire-annotated declaration.
+type wireStruct struct {
+	name string
+	spec *ast.TypeSpec
+	st   *ast.StructType
+}
+
+// collectWireStructs gathers annotated struct declarations in source order.
+// The directive may sit on the TypeSpec or (for single-spec declarations)
+// on the enclosing GenDecl doc.
+func collectWireStructs(pass *Pass) []wireStruct {
+	var out []wireStruct
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if hasDirective(ts.Doc, "wire") || (len(gd.Specs) == 1 && hasDirective(gd.Doc, "wire")) {
+					out = append(out, wireStruct{name: ts.Name.Name, spec: ts, st: st})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkWireFields enforces serializability on one envelope struct.
+func checkWireFields(pass *Pass, ws wireStruct) {
+	for _, field := range ws.st.Fields.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if bad := unserializableKind(t); bad != "" {
+			pass.Reportf(field.Pos(), "wire struct %s: %s field cannot cross the wire losslessly and deterministically; spell the data as explicit fields", ws.name, bad)
+		}
+		names := field.Names
+		if len(names) == 0 {
+			pass.Reportf(field.Pos(), "wire struct %s: embedded field flattens the wire layout implicitly; name it", ws.name)
+			continue
+		}
+		for _, name := range names {
+			if !name.IsExported() {
+				pass.Reportf(name.Pos(), "wire struct %s: unexported field %s is silently dropped by encoding/json", ws.name, name.Name)
+				continue
+			}
+			if field.Tag == nil || !strings.Contains(field.Tag.Value, `json:"`) {
+				pass.Reportf(name.Pos(), "wire struct %s: field %s needs an explicit json tag — the wire name is a contract, not an inference", ws.name, name.Name)
+			}
+		}
+	}
+}
+
+// unserializableKind names the first wire-hostile type constructor in t, or
+// "". Pointers and slices recurse (both encode naturally); named element
+// types do not (their own declarations are checked where annotated).
+func unserializableKind(t types.Type) string {
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Chan:
+		return "chan"
+	case *types.Signature:
+		return "func"
+	case *types.Interface:
+		return "interface"
+	case *types.Pointer:
+		if _, named := types.Unalias(t).(*types.Named); !named {
+			return unserializableKind(u.Elem())
+		}
+	case *types.Slice:
+		if _, named := types.Unalias(t).(*types.Named); !named {
+			return unserializableKind(u.Elem())
+		}
+	}
+	return ""
+}
+
+// checkChecksum verifies the EnvelopeVersion + wireChecksum pinning.
+func checkChecksum(pass *Pass, wire []wireStruct) {
+	scope := pass.Pkg.Scope()
+	verObj, _ := scope.Lookup("EnvelopeVersion").(*types.Const)
+	if verObj == nil {
+		pass.Reportf(wire[0].spec.Pos(), "package declares wire structs but no integer EnvelopeVersion constant; mixed fleets must fail loudly on format skew")
+		return
+	}
+	want := wireFingerprint(pass, verObj.Val().ExactString(), wire)
+	sumObj, _ := scope.Lookup("wireChecksum").(*types.Const)
+	if sumObj == nil {
+		sumObj, _ = scope.Lookup("WireChecksum").(*types.Const)
+	}
+	if sumObj == nil {
+		pass.Reportf(wire[0].spec.Pos(), "package declares wire structs but no wireChecksum constant; add `const wireChecksum = %q` so schema edits force a reviewed bump", want)
+		return
+	}
+	got := strings.Trim(sumObj.Val().ExactString(), `"`)
+	if got != want {
+		pass.Reportf(sumObj.Pos(), "wire schema or EnvelopeVersion changed but wireChecksum was not updated: set it to %q — and bump EnvelopeVersion if the change breaks old decoders", want)
+	}
+}
+
+// wireFingerprint renders the schema canonically and hashes it: the version
+// value, then each wire struct in declaration order with its field names,
+// package-qualified types and tags.
+func wireFingerprint(pass *Pass, version string, wire []wireStruct) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "version=%s\n", version)
+	qual := func(p *types.Package) string {
+		if p == pass.Pkg {
+			return ""
+		}
+		return p.Path()
+	}
+	for _, ws := range wire {
+		fmt.Fprintf(&b, "%s{", ws.name)
+		for _, field := range ws.st.Fields.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			ts := "?"
+			if t != nil {
+				ts = types.TypeString(t, qual)
+			}
+			tag := ""
+			if field.Tag != nil {
+				tag = field.Tag.Value
+			}
+			if len(field.Names) == 0 {
+				fmt.Fprintf(&b, "_ %s %s;", ts, tag)
+			}
+			for _, name := range field.Names {
+				fmt.Fprintf(&b, "%s %s %s;", name.Name, ts, tag)
+			}
+		}
+		b.WriteString("}\n")
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return fmt.Sprintf("%x", sum[:8])
+}
+
+// checkKeyedLiterals flags unkeyed composite literals of wire struct types:
+// annotated ones in this package, and any struct from a WirePackages
+// package (the annotation is invisible across package boundaries, so the
+// package path is the contract there).
+func checkKeyedLiterals(pass *Pass, wire []wireStruct) {
+	local := make(map[string]bool, len(wire))
+	for _, ws := range wire {
+		local[ws.name] = true
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || len(lit.Elts) == 0 {
+				return true
+			}
+			named, ok := types.Unalias(pass.TypesInfo.TypeOf(lit)).(*types.Named)
+			if !ok {
+				return true
+			}
+			if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+				return true
+			}
+			obj := named.Obj()
+			isWire := false
+			if obj.Pkg() == pass.Pkg {
+				isWire = local[obj.Name()]
+			} else if obj.Pkg() != nil {
+				isWire = WirePackages[obj.Pkg().Path()]
+			}
+			if !isWire {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				if _, keyed := elt.(*ast.KeyValueExpr); !keyed {
+					pass.Reportf(lit.Pos(), "unkeyed composite literal of wire type %s: positional fields silently re-bind when the schema changes; use field keys", obj.Name())
+					break
+				}
+			}
+			return true
+		})
+	}
+}

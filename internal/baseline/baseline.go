@@ -150,7 +150,7 @@ func CompileContext(ctx context.Context, algo Algorithm, c *circuit.Circuit, g *
 		return nil, fmt.Errorf("baseline: circuit %q needs %d qubits, grid holds %d",
 			c.Name, c.NumQubits, g.TotalCapacity())
 	}
-	start := time.Now()
+	start := time.Now() //mussti:allow=determinism CompileTime is reporting metadata, never schedule input
 	r := &gridRouter{
 		ctx:  ctx,
 		algo: algo,
@@ -170,6 +170,7 @@ func CompileContext(ctx context.Context, algo Algorithm, c *circuit.Circuit, g *
 	if err := r.run(); err != nil {
 		return nil, err
 	}
+	//mussti:allow=determinism CompileTime is reporting metadata, never schedule input
 	return &Result{Metrics: r.eng.Metrics(), CompileTime: time.Since(start), Trace: r.eng.Trace()}, nil
 }
 

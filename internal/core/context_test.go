@@ -43,20 +43,38 @@ func TestCompileContextDeadline(t *testing.T) {
 	}
 }
 
+// cancelAfterGates cancels its context once the scheduler has reported n
+// gate executions, pinning the cancellation to a point deep inside the run
+// loop regardless of how fast the compiler gets.
+type cancelAfterGates struct {
+	n      int
+	cancel context.CancelFunc
+}
+
+func (o *cancelAfterGates) GateScheduled(done, total int) {
+	if done == o.n {
+		o.cancel()
+	}
+}
+func (o *cancelAfterGates) Shuttle(q, from, to int)       {}
+func (o *cancelAfterGates) Eviction(victim, from, to int) {}
+func (o *cancelAfterGates) SwapInserted(a, b int)         {}
+
 // TestCompileContextMidCompileCancel cancels while the scheduler is deep in
 // a long compile; the run must abort with ctx.Err() instead of finishing.
 // (The returned error is itself the proof of interruption: a compile that
-// ran to completion returns nil.)
+// ran to completion returns nil.) The cancellation is triggered from the
+// observer after a fixed number of gates — a wall-clock timer here would
+// race the compile and flake whenever the compiler gets faster.
 func TestCompileContextMidCompileCancel(t *testing.T) {
 	c := bench.MustByName("SQRT_n117")
 	d := arch.MustNew(arch.DefaultConfig(c.NumQubits))
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(20 * time.Millisecond)
-		cancel()
-	}()
+	defer cancel()
+	opts := DefaultOptions()
+	opts.Observer = &cancelAfterGates{n: 100, cancel: cancel}
 	start := time.Now()
-	_, err := CompileContext(ctx, c, d, DefaultOptions())
+	_, err := CompileContext(ctx, c, d, opts)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled (compile was not interrupted)", err)
 	}

@@ -78,7 +78,7 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, d *arch.Device, opt
 		return nil, fmt.Errorf("core: circuit %q needs %d qubits, device holds %d",
 			c.Name, c.NumQubits, d.Capacity())
 	}
-	start := time.Now()
+	start := time.Now() //mussti:allow=determinism CompileTime is reporting metadata, never schedule input
 
 	// One prep serves every pass over c in this compile — the SABRE forward
 	// probe and each candidate production run — via Graph.Reset; only the
@@ -119,7 +119,7 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, d *arch.Device, opt
 			best = res
 		}
 	}
-	best.CompileTime = time.Since(start)
+	best.CompileTime = time.Since(start) //mussti:allow=determinism CompileTime is reporting metadata, never schedule input
 	return best, nil
 }
 

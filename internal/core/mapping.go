@@ -62,8 +62,9 @@ func moduleBudget(d *arch.Device, m int) int {
 // interactions, the "memory pre-loading" analogy of the paper.
 //
 // The forward probe replays the caller's prep (the production runs reuse
-// it again afterwards); only the reversed circuit — a different gate order,
-// hence a different DAG — builds its own.
+// it again afterwards); the reversed circuit — a different gate order,
+// hence a different DAG — gets its prep from the per-circuit cache in
+// prepcache.go, so repeated compiles of one circuit reverse it once.
 func sabreMapping(ctx context.Context, p *prep, d *arch.Device, opts Options) ([]int, error) {
 	probe := opts
 	probe.Mapping = MappingTrivial
@@ -82,7 +83,9 @@ func sabreMapping(ctx context.Context, p *prep, d *arch.Device, opts Options) ([
 	if err != nil {
 		return nil, fmt.Errorf("core: sabre forward pass: %w", err)
 	}
-	backward, err := runForMapping(ctx, newPrep(p.c.Reverse()), d, probe, forward)
+	rprep, pool := acquireReversePrep(p.c)
+	backward, err := runForMapping(ctx, rprep, d, probe, forward)
+	pool.Put(rprep)
 	if err != nil {
 		return nil, fmt.Errorf("core: sabre reverse pass: %w", err)
 	}

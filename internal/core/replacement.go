@@ -42,6 +42,8 @@ func (p ReplacementPolicy) String() string {
 // pickVictim selects the eviction victim in zone z under the configured
 // policy, never evicting the protected qubits. Returns -1 when no resident
 // is evictable.
+//
+//mussti:hotpath
 func (s *scheduler) pickVictim(z, keepA, keepB int) int {
 	switch s.opts.Replacement {
 	case ReplaceFIFO:
@@ -54,18 +56,30 @@ func (s *scheduler) pickVictim(z, keepA, keepB int) int {
 		}
 		return -1
 	case ReplaceRandom:
+		// Count candidates, then walk to the k-th: same choice (and same
+		// RNG stream) as collecting them into a slice, without the per-call
+		// allocation.
 		chain := s.eng.Chain(z)
-		cands := make([]int, 0, len(chain))
+		n := 0
 		for _, q := range chain {
 			if q != keepA && q != keepB {
-				cands = append(cands, q)
+				n++
 			}
 		}
-		if len(cands) == 0 {
+		if n == 0 {
 			return -1
 		}
 		s.rngState = splitMix64(s.rngState)
-		return cands[int(s.rngState%uint64(len(cands)))]
+		k := int(s.rngState % uint64(n))
+		for _, q := range chain {
+			if q != keepA && q != keepB {
+				if k == 0 {
+					return q
+				}
+				k--
+			}
+		}
+		return -1
 	case ReplaceBelady:
 		victim, farthest := -1, -1
 		for _, q := range s.eng.Chain(z) {
@@ -83,6 +97,8 @@ func (s *scheduler) pickVictim(z, keepA, keepB int) int {
 }
 
 // splitMix64 advances the deterministic eviction RNG (SplitMix64 step).
+//
+//mussti:hotpath
 func splitMix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	z := x

@@ -12,6 +12,8 @@ import (
 // (§3.2 "Qubit Routing" + "Conflict Handling"). Same-module pairs are
 // gathered into the best gate-capable zone of that module; cross-module
 // pairs are delivered to their modules' optical zones for a fiber gate.
+//
+//mussti:hotpath
 func (s *scheduler) route(id int) error {
 	a, b := s.operands(id)
 	ma := s.d.Zone(s.eng.ZoneOf(a)).Module
@@ -31,6 +33,8 @@ func (s *scheduler) route(id int) error {
 // look-ahead attraction term that keeps moved qubits near their upcoming
 // partners; ties break towards the higher level (zones "closest in level"
 // to the CPU end of the hierarchy).
+//
+//mussti:hotpath
 func (s *scheduler) routeIntra(a, b, m int) error {
 	attract := s.futureAttraction(a, b)
 	type cand struct {
@@ -76,11 +80,14 @@ type attraction struct {
 // two routed qubits, where their upcoming partners sit. Weights decay with
 // DAG layer so imminent gates dominate. The returned slice is the
 // scheduler's reused scratch buffer — valid until the next routed gate.
+//
+//mussti:hotpath
 func (s *scheduler) futureAttraction(a, b int) []attraction {
 	if s.opts.DisableRoutingLookAhead {
 		return nil
 	}
 	out := s.attractScratch[:0]
+	//mussti:allow=hotalloc visit closure pinned non-escaping by BenchmarkSchedulerPassReuse allocs/op
 	s.g.WalkAhead(s.opts.LookAhead, func(layer int, n *dag.Node) {
 		for _, q := range [2]int{a, b} {
 			p := n.Gate.Other(q)
@@ -109,6 +116,8 @@ func (s *scheduler) futureAttraction(a, b int) []attraction {
 // attractionCost estimates the future shuttle cost of parking the routed
 // qubits in zone z given their upcoming partners. Both operands end up in z
 // after the gather, so every attraction in the list contributes.
+//
+//mussti:hotpath
 func (s *scheduler) attractionCost(z int, attract []attraction) float64 {
 	p := s.opts.Params
 	cost := 0.0
@@ -123,6 +132,8 @@ func (s *scheduler) attractionCost(z int, attract []attraction) float64 {
 
 // routeToOptical delivers q into an optical zone of its own module ahead of
 // a fiber gate with partner (partner only matters for eviction exclusion).
+//
+//mussti:hotpath
 func (s *scheduler) routeToOptical(q, partner int) error {
 	zq := s.eng.ZoneOf(q)
 	if s.d.Zone(zq).Level == arch.LevelOptical {
@@ -146,6 +157,8 @@ func (s *scheduler) routeToOptical(q, partner int) error {
 // into zone z: chain-swap and split/move/merge times for each qubit not
 // already there, plus an eviction penalty when z lacks the needed free
 // slots.
+//
+//mussti:hotpath
 func (s *scheduler) gatherCost(z, a, b int) float64 {
 	p := s.opts.Params
 	cost := 0.0
@@ -181,6 +194,8 @@ func (s *scheduler) gatherCost(z, a, b int) float64 {
 // replacement scheduler"); the FIFO/random/Belady arms exist only for the
 // ablation experiments. keepA/keepB are never evicted (the gate's own
 // operands).
+//
+//mussti:hotpath
 func (s *scheduler) moveWithEviction(q, dst, keepA, keepB int) error {
 	for s.eng.Free(dst) < 1 {
 		victim := s.pickVictim(dst, keepA, keepB)
@@ -212,6 +227,8 @@ func (s *scheduler) moveWithEviction(q, dst, keepA, keepB int) error {
 // yet) break towards the qubit whose next gate lies farthest in the
 // program — the Belady-style choice, so the replacement scheduler never
 // evicts the ion the very next gate needs.
+//
+//mussti:hotpath
 func (s *scheduler) pickLRUVictim(z, keepA, keepB int) int {
 	victim, oldest, farthest := -1, int64(math.MaxInt64), -1
 	for _, q := range s.eng.Chain(z) {
@@ -229,6 +246,8 @@ func (s *scheduler) pickLRUVictim(z, keepA, keepB int) int {
 // nextUse returns the circuit index of q's next two-qubit gate, or a large
 // sentinel (math.MaxInt32) when q is done entangling. O(1): the per-position
 // answers were precomputed by buildNextUseTables at scheduler construction.
+//
+//mussti:hotpath
 func (s *scheduler) nextUse(q int) int {
 	return int(s.next2q[q][s.cursor[q]])
 }
@@ -237,6 +256,8 @@ func (s *scheduler) nextUse(q int) int {
 // sends it to the closest level below the source zone's level that has
 // space, scanning levels downward, then (as a fallback that only triggers
 // in degenerate configurations) any same-module zone with space.
+//
+//mussti:hotpath
 func (s *scheduler) evictionTarget(from int) (int, error) {
 	info := s.d.Zone(from)
 	m := info.Module
@@ -252,6 +273,7 @@ func (s *scheduler) evictionTarget(from int) (int, error) {
 	return -1, fmt.Errorf("core: module %d has no free slot for eviction from zone %d", m, from)
 }
 
+//mussti:hotpath
 func (s *scheduler) closestWithSpace(from int, zones []int) int {
 	best, bestDist := -1, math.Inf(1)
 	for _, z := range zones {

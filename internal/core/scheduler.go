@@ -52,6 +52,14 @@ type scheduler struct {
 	attractScratch []attraction
 	// wrowScratch is the reused single-qubit weight-table row of trySwapFor.
 	wrowScratch []int
+
+	// Multi-qubit weight-table scratch for pickSwapPartner, reused across
+	// SWAP-insertion checks: wtRowOf[q] is 1+q's row in the current query
+	// (0 = absent), wtRows the flat row backing, residentScratch the
+	// optical-zone candidate list. See weightTable/weightAt/clearWeightTable.
+	wtRowOf         []int32
+	wtRows          []int
+	residentScratch []int
 }
 
 // prep is the per-circuit precomputation every scheduling pass needs: the
@@ -146,6 +154,8 @@ func (s *scheduler) mappingSnapshot() []int {
 // routing, conflict handling, gate execution, DAG update — until empty or
 // the context is cancelled. The cancellation check sits at the top of the
 // frontier loop, so a cancelled context aborts within one scheduler step.
+//
+//mussti:hotpath
 func (s *scheduler) run() error {
 	// Leading one-qubit gates execute in place before any routing.
 	for q := 0; q < s.c.NumQubits; q++ {
@@ -197,6 +207,7 @@ func (s *scheduler) run() error {
 	return nil
 }
 
+//mussti:hotpath
 func (s *scheduler) operands(id int) (int, int) {
 	g := s.g.Nodes[id].Gate
 	return g.Qubits[0], g.Qubits[1]
@@ -205,6 +216,8 @@ func (s *scheduler) operands(id int) (int, int) {
 // executableNow reports whether the pair may entangle without any routing:
 // co-located in one gate-capable zone, or sitting in optical zones of two
 // different modules (fiber gate).
+//
+//mussti:hotpath
 func (s *scheduler) executableNow(a, b int) bool {
 	za, zb := s.eng.ZoneOf(a), s.eng.ZoneOf(b)
 	if za == zb {
@@ -217,6 +230,8 @@ func (s *scheduler) executableNow(a, b int) bool {
 // executeNode runs DAG node id (gate assumed in an executable configuration),
 // advances the one-qubit cursors past it, flushes newly ready one-qubit
 // gates, updates LRU clocks, and triggers SWAP insertion after fiber gates.
+//
+//mussti:hotpath
 func (s *scheduler) executeNode(id int) error {
 	a, b := s.operands(id)
 	za, zb := s.eng.ZoneOf(a), s.eng.ZoneOf(b)
@@ -262,6 +277,8 @@ func (s *scheduler) executeNode(id int) error {
 
 // flushOneQubit executes the run of one-qubit gates (and measurements) now
 // at the front of q's per-qubit gate list.
+//
+//mussti:hotpath
 func (s *scheduler) flushOneQubit(q int) error {
 	for s.cursor[q] < len(s.perQubit[q]) {
 		gi := s.perQubit[q][s.cursor[q]]

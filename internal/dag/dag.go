@@ -169,9 +169,11 @@ func (g *Graph) Done() bool { return g.nLeft == 0 }
 // The returned slice is a reused buffer: it stays valid (as a snapshot)
 // across Execute calls, but the next Frontier call overwrites it, so callers
 // must not retain it across frontier reads.
+//
+//mussti:hotpath
 func (g *Graph) Frontier() []int {
 	if cap(g.frontierBuf) < len(g.frontier) {
-		g.frontierBuf = make([]int, 0, cap(g.frontier))
+		g.frontierBuf = make([]int, 0, cap(g.frontier)) //mussti:allow=hotalloc scratch grows to the widest frontier, then stays
 	}
 	g.frontierBuf = g.frontierBuf[:len(g.frontier)]
 	copy(g.frontierBuf, g.frontier)
@@ -184,11 +186,15 @@ func (g *Graph) Frontier() []int {
 func (g *Graph) FirstUnexecuted() int { return g.watermark }
 
 // Executed reports whether node id has been executed.
+//
+//mussti:hotpath
 func (g *Graph) Executed(id int) bool { return g.executed[id] }
 
 // Execute marks a frontier node as done and unlocks its successors.
 // It panics if the node is not currently executable — calling it otherwise
 // indicates a scheduler bug, which must not be silently absorbed.
+//
+//mussti:hotpath
 func (g *Graph) Execute(id int) {
 	pos := g.frontierIndex(id)
 	if pos < 0 {
@@ -210,6 +216,8 @@ func (g *Graph) Execute(id int) {
 }
 
 // frontierIndex binary-searches the sorted frontier for id; -1 when absent.
+//
+//mussti:hotpath
 func (g *Graph) frontierIndex(id int) int {
 	lo, hi := 0, len(g.frontier)
 	for lo < hi {
@@ -229,6 +237,8 @@ func (g *Graph) frontierIndex(id int) int {
 // frontierInsert places id at its sorted position. Unlocked successors have
 // larger IDs than the executed node but not necessarily than the rest of the
 // frontier, so this is a real insertion, not an append.
+//
+//mussti:hotpath
 func (g *Graph) frontierInsert(id int) {
 	lo, hi := 0, len(g.frontier)
 	for lo < hi {
@@ -287,6 +297,8 @@ func (g *Graph) Layers() [][]int {
 // same ascending-ID visit sequence the naive full scan produced. A node kept
 // back by an out-of-window predecessor is itself beyond the window (its
 // layer exceeds the predecessor's) and is correctly never released.
+//
+//mussti:hotpath
 func (g *Graph) WalkAhead(k int, visit func(layer int, n *Node)) {
 	if k <= 0 || g.nLeft == 0 {
 		return
@@ -334,6 +346,8 @@ func (g *Graph) WalkAhead(k int, visit func(layer int, n *Node)) {
 }
 
 // waHeapPush adds id to the binary min-heap h.
+//
+//mussti:hotpath
 func waHeapPush(h []int32, id int32) []int32 {
 	h = append(h, id)
 	i := len(h) - 1
@@ -349,6 +363,8 @@ func waHeapPush(h []int32, id int32) []int32 {
 }
 
 // waHeapPop removes and returns the minimum of h.
+//
+//mussti:hotpath
 func waHeapPop(h []int32) (int32, []int32) {
 	min := h[0]
 	last := len(h) - 1

@@ -37,7 +37,16 @@ import (
 // on the first exchange instead of silently decoding wrong measurements.
 const EnvelopeVersion = 1
 
+// wireChecksum pins the envelope schema. The wirecompat analyzer recomputes
+// the fingerprint from EnvelopeVersion plus every //mussti:wire struct's
+// fields (names, types, tags, in declaration order) and fails the lint until
+// this constant matches — so any schema edit shows up in review next to a
+// deliberate checksum (and, for breaking changes, version) bump.
+const wireChecksum = "c0fd6a9031372a45"
+
 // JobEnvelope is the wire form of one measurement job.
+//
+//mussti:wire
 type JobEnvelope struct {
 	// V is the format version; decoders reject any value other than
 	// EnvelopeVersion.
@@ -53,6 +62,8 @@ type JobEnvelope struct {
 // struct so the wire format is an explicit contract: a change to the spec
 // types must be reconciled here (and versioned) rather than silently
 // altering what old workers decode.
+//
+//mussti:wire
 type WireSpec struct {
 	App      string      `json:"app"`
 	Compiler string      `json:"compiler"`
@@ -62,6 +73,8 @@ type WireSpec struct {
 }
 
 // WireGrid mirrors arch.Grid.
+//
+//mussti:wire
 type WireGrid struct {
 	Rows        int     `json:"rows"`
 	Cols        int     `json:"cols"`
@@ -71,6 +84,8 @@ type WireGrid struct {
 
 // WireArch mirrors arch.Config. A nil *WireArch encodes the zero Config
 // (the paper-default machine for the app's qubit count).
+//
+//mussti:wire
 type WireArch struct {
 	Modules          int     `json:"modules"`
 	TrapCapacity     int     `json:"trapCapacity"`
@@ -86,6 +101,8 @@ type WireArch struct {
 // cannot cross a process boundary, and the cache key excludes them too —
 // observation never changes a measurement, so dropping the field keeps the
 // round-trip lossless for everything a measurement depends on.
+//
+//mussti:wire
 type WireConfig struct {
 	Mapping                 int            `json:"mapping"`
 	SwapInsertion           bool           `json:"swapInsertion"`
@@ -99,6 +116,8 @@ type WireConfig struct {
 
 // ResultEnvelope is the wire form of one job's outcome: exactly one of
 // Measurement and Err is set.
+//
+//mussti:wire
 type ResultEnvelope struct {
 	V           int               `json:"v"`
 	Seq         uint64            `json:"seq"`

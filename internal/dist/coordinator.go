@@ -324,7 +324,7 @@ func (c *Coordinator) Close() error {
 	c.closed = true
 	close(c.closeCh)
 	procs := make([]*workerProc, 0, len(c.procs))
-	for w := range c.procs {
+	for w := range c.procs { //mussti:allow=determinism shutdown fan-out; kill order is irrelevant
 		procs = append(procs, w)
 	}
 	c.procs = make(map[*workerProc]struct{})

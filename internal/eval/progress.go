@@ -1,3 +1,5 @@
+//mussti:allow=determinism progress heartbeats are wall-clock by design and never feed results
+
 package eval
 
 import (

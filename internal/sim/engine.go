@@ -136,16 +136,24 @@ func (e *Engine) Metrics() Metrics {
 func (e *Engine) NumQubits() int { return e.nQubits }
 
 // ZoneOf returns the zone currently holding q (-1 if unplaced).
+//
+//mussti:hotpath
 func (e *Engine) ZoneOf(q int) int { return e.loc[q] }
 
 // Chain returns the chain content of zone z in order. The returned slice is
 // the engine's own storage; callers must not mutate it.
+//
+//mussti:hotpath
 func (e *Engine) Chain(z int) []int { return e.chains[z] }
 
 // Load returns the current chain length of zone z.
+//
+//mussti:hotpath
 func (e *Engine) Load(z int) int { return len(e.chains[z]) }
 
 // Free returns the remaining capacity of zone z.
+//
+//mussti:hotpath
 func (e *Engine) Free(z int) int { return e.zones[z].Capacity - len(e.chains[z]) }
 
 // Heat returns the accumulated motional heat of zone z.
@@ -179,9 +187,11 @@ func (e *Engine) Place(q, z int) error {
 // two) qubits as plain ints — q2 is -1 for one-qubit ops — so untraced runs,
 // the steady state of every compile, build no []int argument at all: the
 // Qubits slice is only materialised inside the keepOp branch.
+//
+//mussti:hotpath
 func (e *Engine) record(kind string, q1, q2 int, zone, zoneB int, start, dur float64) {
 	if e.keepOp {
-		qs := []int{q1}
+		qs := []int{q1} //mussti:allow=hotalloc trace-only branch; untraced compiles never reach it
 		if q2 >= 0 {
 			qs = append(qs, q2)
 		}
@@ -193,6 +203,8 @@ func (e *Engine) record(kind string, q1, q2 int, zone, zoneB int, start, dur flo
 // every qubit's chain position through Place/Move/InsertedSwap instead of
 // scanning the chain (CheckConsistency still audits the tracked positions
 // against the chains themselves).
+//
+//mussti:hotpath
 func (e *Engine) indexInChain(q int) int {
 	if e.loc[q] == -1 {
 		panic(fmt.Sprintf("sim: chain index of unplaced qubit %d", q))
@@ -204,6 +216,8 @@ func (e *Engine) indexInChain(q int) int {
 // the nearer chain edge, then Split, Move (over distanceUM) and Merge. It
 // errors when dst is full, identical to the source, or q is unplaced — all
 // compiler bugs that must surface.
+//
+//mussti:hotpath
 func (e *Engine) Move(q, dst int, distanceUM float64) error {
 	src := e.loc[q]
 	if src == -1 {
@@ -278,6 +292,8 @@ func (e *Engine) Move(q, dst int, distanceUM float64) error {
 }
 
 // Gate1 executes a one-qubit gate on q in place.
+//
+//mussti:hotpath
 func (e *Engine) Gate1(q int) error {
 	z := e.loc[q]
 	if z == -1 {
@@ -296,6 +312,8 @@ func (e *Engine) Gate1(q int) error {
 
 // Measure executes a measurement; modelled like a one-qubit op with 1q
 // duration (readout fidelity folded into Gate1Fidelity).
+//
+//mussti:hotpath
 func (e *Engine) Measure(q int) error {
 	if err := e.Gate1(q); err != nil {
 		return err
@@ -307,6 +325,8 @@ func (e *Engine) Measure(q int) error {
 
 // Gate2 executes a two-qubit MS gate; both qubits must share one
 // gate-capable zone.
+//
+//mussti:hotpath
 func (e *Engine) Gate2(a, b int) error {
 	za, zb := e.loc[a], e.loc[b]
 	if za == -1 || zb == -1 {
@@ -333,6 +353,8 @@ func (e *Engine) Gate2(a, b int) error {
 
 // Fiber executes one fiber-entangled two-qubit gate between qubits sitting
 // in optical zones of two different modules.
+//
+//mussti:hotpath
 func (e *Engine) Fiber(a, b int) error {
 	za, zb := e.loc[a], e.loc[b]
 	if za == -1 || zb == -1 {
@@ -364,6 +386,8 @@ func (e *Engine) Fiber(a, b int) error {
 // InsertedSwap realises a compiler-inserted logical SWAP between qubits on
 // different modules: three fiber-entangled MS gates (§3.3), after which the
 // logical qubits exchange physical positions in the engine's bookkeeping.
+//
+//mussti:hotpath
 func (e *Engine) InsertedSwap(a, b int) error {
 	for i := 0; i < 3; i++ {
 		if err := e.Fiber(a, b); err != nil {
@@ -386,6 +410,8 @@ func (e *Engine) InsertedSwap(a, b int) error {
 // SwapsToEdge returns how many chain swaps a move of q would pay to reach
 // the nearer edge of its current chain. Schedulers use it for cost
 // estimates. Returns 0 for unplaced qubits.
+//
+//mussti:hotpath
 func (e *Engine) SwapsToEdge(q int) int {
 	if e.loc[q] == -1 {
 		return 0

@@ -110,9 +110,19 @@ func (v *verifier) run(initial []int) error {
 			return fmt.Errorf("verify: qubit %d executed %d of %d gates", q, v.cursor[q], len(v.perQubit[q]))
 		}
 	}
-	// No half-finished inserted SWAPs.
-	for pair, count := range v.pendingSwap {
-		return fmt.Errorf("verify: pair %v has %d dangling fiber ops (incomplete SWAP)", pair, count)
+	// No half-finished inserted SWAPs. Report the smallest offending pair,
+	// not a random one, so a failing verification prints the same error on
+	// every run.
+	var worst [2]int
+	found := false
+	//mussti:allow=determinism deterministic min-selection: every iteration order yields the smallest pair
+	for pair := range v.pendingSwap {
+		if !found || pair[0] < worst[0] || (pair[0] == worst[0] && pair[1] < worst[1]) {
+			worst, found = pair, true
+		}
+	}
+	if found {
+		return fmt.Errorf("verify: pair %v has %d dangling fiber ops (incomplete SWAP)", worst, v.pendingSwap[worst])
 	}
 	return nil
 }
