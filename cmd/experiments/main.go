@@ -46,6 +46,7 @@ func realMain() int {
 	parallel := flag.Bool("parallel", true, "fan measurements (and, in all-experiments mode, whole experiments) out over a worker pool")
 	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	cache := flag.Bool("cache", true, "dedupe identical measurement points across experiments (needs -parallel)")
+	batch := flag.Bool("batch", true, "group same-circuit measurements into shared-prep batch compiles (needs -parallel; no effect with -dist)")
 	distN := flag.Int("dist", 0, "distribute measurements across N spawned worker processes (implies -parallel)")
 	worker := flag.Bool("worker", false, "run as a distributed worker: read job envelopes on stdin, write measurement envelopes to stdout (what -dist coordinators spawn)")
 	cacheDir := flag.String("cachedir", "", "shared on-disk measurement cache directory: repeated runs and whole -dist fleets compile each point once, ever")
@@ -199,12 +200,15 @@ func realMain() int {
 		if !*cache {
 			runner.DisableCache()
 		}
+		if !*batch {
+			runner.DisableBatching()
+		}
 		if *progress {
 			runner.SetProgress(os.Stderr)
 		}
 	default:
-		if *progress || !*cache {
-			fmt.Fprintln(os.Stderr, "experiments: -progress and -cache need -parallel; ignoring")
+		if *progress || !*cache || !*batch {
+			fmt.Fprintln(os.Stderr, "experiments: -progress, -cache and -batch need -parallel; ignoring")
 		}
 	}
 	if *cacheDir != "" {

@@ -179,14 +179,9 @@ func (musstiCompiler) SupportsTarget(t arch.Target) bool {
 }
 
 func (musstiCompiler) Compile(ctx context.Context, c *circuit.Circuit, t arch.Target, cfg *CompileConfig) (*Result, error) {
-	var d *arch.Device
-	switch tt := t.(type) {
-	case *arch.Device:
-		d = tt
-	case *arch.Grid:
-		d = tt.Device()
-	default:
-		return nil, fmt.Errorf("core: mussti cannot target %T (want *arch.Device or *arch.Grid)", t)
+	d, err := deviceFor(t)
+	if err != nil {
+		return nil, err
 	}
 	opts := DefaultOptions()
 	if cfg != nil {

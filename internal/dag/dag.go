@@ -156,6 +156,18 @@ func (g *Graph) reset() {
 // executed flags, frontier, watermark) and nothing else.
 func (g *Graph) Reset() { g.reset() }
 
+// Clone returns a graph that shares g's immutable structure (Nodes, ByQubit
+// and their backing arrays — frozen after Build) but owns private execution
+// state, so two scheduling passes over one circuit can run concurrently.
+// The clone starts unexecuted; it is as if Build had run twice, minus the
+// O(g) construction. Cloning does not read g's execution state, so it is
+// safe even while g itself is mid-schedule on another goroutine.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{Nodes: g.Nodes, ByQubit: g.ByQubit}
+	c.reset()
+	return c
+}
+
 // Remaining reports how many nodes have not been executed yet.
 func (g *Graph) Remaining() int { return g.nLeft }
 

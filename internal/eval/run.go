@@ -21,6 +21,7 @@ import (
 
 	"mussti/internal/arch"
 	"mussti/internal/baseline"
+	"mussti/internal/circuit"
 	"mussti/internal/circuit/bench"
 	"mussti/internal/core"
 	"mussti/internal/physics"
@@ -112,6 +113,13 @@ func RunSpecContext(ctx context.Context, spec CompileSpec) (Measurement, error) 
 	if err != nil {
 		return Measurement{}, fmt.Errorf("eval: %s/%s: %w", spec.App, spec.Compiler, err)
 	}
+	return measurementFrom(spec, comp, c, res), nil
+}
+
+// measurementFrom packages one compile Result as the spec's Measurement
+// row — the single conversion both the per-job path (RunSpecContext) and
+// the batch path (runBatchUnit) go through, so the two can never drift.
+func measurementFrom(spec CompileSpec, comp core.Compiler, c *circuit.Circuit, res *core.Result) Measurement {
 	st := c.Stats()
 	m := res.Metrics
 	return Measurement{
@@ -127,7 +135,7 @@ func RunSpecContext(ctx context.Context, spec CompileSpec) (Measurement, error) 
 		Fidelity:      m.Fidelity.Value(),
 		Log10F:        m.Fidelity.Log10(),
 		CompileTime:   res.CompileTime,
-	}, nil
+	}
 }
 
 // MusstiSpec describes a MUSS-TI run: either on an EML-QCCD device built

@@ -91,6 +91,26 @@ func (j Job) withObserver(obs core.Observer) Job {
 	return Job{Spec: &s}
 }
 
+// withParallelism returns a copy of the job whose compile may run up to n
+// scheduling passes concurrently (core's intra-compile parallelism). Like
+// withObserver it leaves the original job untouched — and the cache key is
+// unaffected anyway, since Parallelism is excluded from CacheKey.
+func (j Job) withParallelism(n int) Job {
+	s, err := j.resolve()
+	if err != nil {
+		return j
+	}
+	var cfg core.CompileConfig
+	if comp, err := core.LookupCompiler(s.Compiler); err == nil {
+		cfg = s.config(comp)
+	} else if s.Config != nil {
+		cfg = *s.Config
+	}
+	cfg.Parallelism = n
+	s.Config = &cfg
+	return Job{Spec: &s}
+}
+
 // Plan is a decomposed experiment: the measurement jobs in deterministic
 // paper order, and a renderer that turns the ordered results into the
 // experiment's text output.
@@ -153,6 +173,10 @@ type Runner struct {
 	memo     *Memo
 	progress *progressSink
 	remote   RemoteExecutor
+	// batching, when true (the default), groups same-circuit jobs of a
+	// batch-capable compiler through CompileBatch so they share per-circuit
+	// prep; see planUnits. Output is byte-identical either way.
+	batching bool
 }
 
 // RemoteExecutor dispatches one job to an external execution substrate — a
@@ -176,7 +200,7 @@ func NewRunner(workers int) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{workers: workers, sem: make(chan struct{}, workers), memo: NewMemo()}
+	return &Runner{workers: workers, sem: make(chan struct{}, workers), memo: NewMemo(), batching: true}
 }
 
 // Workers reports the pool size.
@@ -191,6 +215,12 @@ func (r *Runner) Workers() int {
 // compiles from scratch. Rendered output is byte-identical either way; only
 // the work performed changes.
 func (r *Runner) DisableCache() { r.memo = nil }
+
+// DisableBatching turns off same-circuit job grouping: every job compiles
+// through the per-job path with its own prep, as before batch compilation
+// existed. Rendered output is byte-identical either way; only the work
+// performed changes.
+func (r *Runner) DisableBatching() { r.batching = false }
 
 // CacheStats reports the measurement cache's hit and miss counters (misses
 // are actual compilations). Zeros when the cache is disabled or the runner
@@ -250,14 +280,25 @@ func (r *Runner) RunJob(ctx context.Context, j Job) (Measurement, error) {
 // runJob executes one job with the runner's cache and progress layers
 // applied.
 func (r *Runner) runJob(ctx context.Context, j Job) (Measurement, error) {
+	return r.runJobN(ctx, j, 1)
+}
+
+// runJobN is runJob with an intra-compile parallelism bound: parallelism is
+// how many semaphore slots the caller holds for this job (1 plus any
+// borrowed), which caps how many scheduling passes the compile may run
+// concurrently — so boosted compiles never oversubscribe the pool.
+func (r *Runner) runJobN(ctx context.Context, j Job, parallelism int) (Measurement, error) {
 	var prog *jobProgress
 	exec := j
+	if parallelism > 1 && r.remote == nil {
+		exec = exec.withParallelism(parallelism)
+	}
 	if r.progress != nil {
 		prog = r.progress.job(j.label())
 		if r.remote == nil {
 			// Observers cannot cross a process boundary; remotely executed
 			// jobs report completion ticks only.
-			exec = j.withObserver(prog)
+			exec = exec.withObserver(prog)
 		}
 	}
 	run := exec.run
@@ -299,9 +340,10 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Measurement, error) {
 	defer cancel()
 	ms := make([]Measurement, len(jobs))
 	errs := make([]error, len(jobs)) // only real job errors; cancellations stay nil
+	units := r.planUnits(jobs)
 	var next, done atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < min(r.workers, len(jobs)); w++ {
+	for w := 0; w < min(r.workers, len(units)); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -319,23 +361,49 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Measurement, error) {
 					return
 				case r.sem <- struct{}{}:
 				}
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
+				u := int(next.Add(1)) - 1
+				if u >= len(units) {
 					<-r.sem
 					return
 				}
-				m, err := r.runJob(ctx, jobs[i])
-				switch {
-				case err == nil:
-					ms[i] = m
-					done.Add(1)
-				case ctx.Err() != nil && errors.Is(err, ctx.Err()):
-					// The compile was interrupted by cancellation, not by a
-					// failure of its own; the final ctx.Err() return covers
-					// it.
-				default:
-					errs[i] = err
-					cancel() // abort in-flight jobs, skip unclaimed ones
+				unit := units[u]
+				if len(unit) == 1 {
+					i := unit[0]
+					// A lone SABRE compile can use one idle slot for its
+					// trivial-candidate pass — free speedup when the pool
+					// has spare capacity, strictly bounded when it doesn't.
+					extra := 0
+					if r.remote == nil && parallelizable(jobs[i]) {
+						extra = r.borrowSlots(1)
+					}
+					m, err := r.runJobN(ctx, jobs[i], 1+extra)
+					r.releaseSlots(extra)
+					switch {
+					case err == nil:
+						ms[i] = m
+						done.Add(1)
+					case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+						// The compile was interrupted by cancellation, not by
+						// a failure of its own; the final ctx.Err() return
+						// covers it.
+					default:
+						errs[i] = err
+						cancel() // abort in-flight jobs, skip unclaimed ones
+					}
+				} else {
+					// A batch unit holds this slot plus whatever is idle
+					// right now, so its internal worker group exactly fills
+					// the capacity it owns.
+					extra := r.borrowSlots(len(unit) - 1)
+					err := r.runBatchUnit(ctx, jobs, unit, 1+extra, ms, &done)
+					r.releaseSlots(extra)
+					switch {
+					case err == nil:
+					case ctx.Err() != nil && errors.Is(err, ctx.Err()):
+					default:
+						errs[unit[0]] = err
+						cancel()
+					}
 				}
 				<-r.sem
 			}
