@@ -36,6 +36,12 @@ type entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// NumCPU and GOMAXPROCS pin the parallelism this entry ran under, so
+	// numbers from different machines (or a later -gomaxprocs run) are never
+	// compared as if they were like for like. Recorded per entry because
+	// GOMAXPROCS is mutable at runtime.
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 type report struct {
@@ -56,6 +62,8 @@ func measure(name string, fn func(b *testing.B)) entry {
 		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 		BytesPerOp:  res.AllocedBytesPerOp(),
 		AllocsPerOp: res.AllocsPerOp(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
 }
 

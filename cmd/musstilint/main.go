@@ -1,5 +1,5 @@
 // Command musstilint runs the repo-invariant lint suite (internal/analysis):
-// determinism, ctxflow, hotalloc and wirecompat.
+// determinism, ctxflow, hotalloc, wirecompat, leakcheck and sempair.
 //
 // Standalone, over package patterns:
 //
@@ -7,6 +7,17 @@
 //
 // It exits 0 when the tree is clean, 1 when any diagnostic fires, 2 on load
 // failure. With -list it prints the analyzers and their one-line docs.
+//
+// The compiler-feedback perf budget is a separate gate:
+//
+//	go run ./cmd/musstilint -budget       # diff the tree against perfbudget.json
+//	go run ./cmd/musstilint -writebudget  # regenerate perfbudget.json
+//
+// -budget rebuilds the module with escape/inline/bounds diagnostics enabled,
+// folds them onto every //mussti:hotpath and //mussti:inline function, and
+// fails with a per-function diff when the committed perfbudget.json no
+// longer matches. -writebudget commits the current verdicts, refusing if an
+// //mussti:inline function is no longer inlinable.
 //
 // The command also speaks the `go vet -vettool` protocol (-V=full, -flags,
 // and a *.cfg compilation-unit file), so the same binary plugs into the
@@ -25,6 +36,8 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 
 	"mussti/internal/analysis"
@@ -37,10 +50,12 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("musstilint", flag.ExitOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	budget := fs.Bool("budget", false, "check the compiler-feedback perf budget against perfbudget.json")
+	writeBudget := fs.Bool("writebudget", false, "regenerate perfbudget.json from the current tree")
 	version := fs.String("V", "", "print version and exit (go vet protocol; use -V=full)")
 	flagsJSON := fs.Bool("flags", false, "describe flags in JSON (go vet protocol)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: musstilint [packages]   (or, under go vet: -V=full | -flags | unit.cfg)\n")
+		fmt.Fprintf(os.Stderr, "usage: musstilint [packages]   (or: -budget | -writebudget; under go vet: -V=full | -flags | unit.cfg)\n")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -57,6 +72,8 @@ func run(args []string) int {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	case *budget || *writeBudget:
+		return runBudget(*writeBudget)
 	}
 
 	rest := fs.Args()
@@ -99,6 +116,88 @@ func runStandalone(patterns []string) int {
 		return 1
 	}
 	return 0
+}
+
+// runBudget implements -budget and -writebudget: collect compiler facts
+// over the whole module, fold them onto the annotated functions, and either
+// diff against the committed perfbudget.json or regenerate it.
+func runBudget(write bool) int {
+	modroot, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "musstilint:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(modroot, "./...")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			fmt.Fprintf(os.Stderr, "musstilint: %s: %v\n", pkg.PkgPath, e)
+			return 2
+		}
+	}
+	facts, err := analysis.CollectCompilerFacts(modroot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	res, err := analysis.ComputeBudget(modroot, pkgs, facts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	path := filepath.Join(modroot, analysis.BudgetFile)
+	if write {
+		if regress := res.InlineRegressions(); len(regress) > 0 {
+			fmt.Fprintf(os.Stderr, "musstilint: refusing to write %s: //mussti:inline functions are not inlinable\n", analysis.BudgetFile)
+			for _, d := range regress {
+				fmt.Fprintf(os.Stderr, "\t%s: %s\n", d.Key, d.Message)
+			}
+			return 1
+		}
+		if err := analysis.WriteBudgetFile(path, res.Budget); err != nil {
+			fmt.Fprintln(os.Stderr, "musstilint:", err)
+			return 2
+		}
+		fmt.Printf("musstilint: wrote %s: %d functions budgeted (%s %s)\n",
+			analysis.BudgetFile, len(res.Budget.Functions), res.Budget.Go, res.Budget.GOARCH)
+		return 0
+	}
+	committed, err := analysis.ReadBudgetFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "musstilint: %v\n\trun `go run ./cmd/musstilint -writebudget` to create %s\n", err, analysis.BudgetFile)
+		return 1
+	}
+	drifts := analysis.CheckBudget(committed, res)
+	if len(drifts) == 0 {
+		fmt.Printf("musstilint: perf budget holds: %d functions match %s\n", len(res.Budget.Functions), analysis.BudgetFile)
+		return 0
+	}
+	if committed.Go != res.Budget.Go || committed.GOARCH != res.Budget.GOARCH {
+		fmt.Fprintf(os.Stderr, "musstilint: note: budget written by %s/%s, checking with %s/%s — verdicts can differ across toolchains\n",
+			committed.Go, committed.GOARCH, res.Budget.Go, res.Budget.GOARCH)
+	}
+	for _, d := range drifts {
+		fmt.Fprintf(os.Stderr, "musstilint: budget drift: %s\n", d)
+	}
+	fmt.Fprintf(os.Stderr, "musstilint: %d budget drift(s); if intentional, run `go run ./cmd/musstilint -writebudget` and commit %s\n",
+		len(drifts), analysis.BudgetFile)
+	return 1
+}
+
+// moduleRoot locates the enclosing module via `go env GOMOD`.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module (go env GOMOD is empty)")
+	}
+	return filepath.Dir(gomod), nil
 }
 
 // vetConfig is the JSON compilation-unit description `go vet` hands a

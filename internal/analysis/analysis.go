@@ -1,6 +1,6 @@
 // Package analysis is the repo-invariant lint suite: a small, dependency-free
 // analogue of golang.org/x/tools/go/analysis (which this module cannot vendor)
-// plus four custom passes that turn the project's runtime-tested invariants
+// plus six custom passes that turn the project's runtime-tested invariants
 // into compile-time checks:
 //
 //   - determinism: byte-identical experiment output at any parallelism level
@@ -11,7 +11,19 @@
 //   - hotalloc: the allocation-free compile hot path (functions annotated
 //     //mussti:hotpath must not allocate in steady state);
 //   - wirecompat: the versioned internal/dist wire format (no map fields,
-//     keyed literals only, schema changes force a checksum + version bump).
+//     keyed literals only, schema changes force a checksum + version bump);
+//   - leakcheck: goroutines in internal/{core,eval,dist} must carry a
+//     completion signal, and channel loops must select on ctx.Done;
+//   - sempair: semaphore acquire/release and slot borrow/return must pair
+//     on every control-flow path.
+//
+// On top of the AST passes sits a compiler-feedback tier (compilerfacts.go,
+// perfbudget.go): one `go build` with escape-analysis, inlining and
+// bounds-check diagnostics enabled is parsed into typed facts and checked
+// against the committed perfbudget.json — //mussti:hotpath functions may
+// not gain heap escapes or bounds checks, //mussti:inline leaf helpers must
+// remain inlinable, and any drift fails `musstilint -budget` with a
+// per-function diff (`musstilint -writebudget` regenerates).
 //
 // The framework mirrors go/analysis deliberately — Analyzer structs with a
 // Run(*Pass) hook, per-package Pass state, position-based diagnostics — so
@@ -23,7 +35,8 @@
 //
 // Source annotates itself with //mussti: comments:
 //
-//	//mussti:hotpath                  (function doc) hotalloc checks this function
+//	//mussti:hotpath                  (function doc) hotalloc + perfbudget check this function
+//	//mussti:inline                   (function doc) perfbudget requires this function inlinable
 //	//mussti:wire                     (type doc) struct is part of the wire format
 //	//mussti:allow=<analyzer> reason  suppress one analyzer on this line and the next
 //
@@ -82,6 +95,8 @@ func All() []*Analyzer {
 		CtxflowAnalyzer,
 		HotallocAnalyzer,
 		WirecompatAnalyzer,
+		LeakcheckAnalyzer,
+		SempairAnalyzer,
 	}
 }
 
@@ -91,7 +106,7 @@ const directivePrefix = "//mussti:"
 // directive is one parsed //mussti: comment.
 type directive struct {
 	pos  token.Pos
-	verb string // "hotpath", "wire", "allow"
+	verb string // "hotpath", "inline", "wire", "allow"
 	arg  string // analyzer name for allow
 }
 

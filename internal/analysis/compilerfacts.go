@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is the collection half of the compiler-feedback tier: instead of
+// guessing at allocations with AST heuristics (hotalloc), it asks the
+// compiler itself. One `go build` with escape analysis, inlining and
+// bounds-check-elimination diagnostics enabled yields a typed fact stream
+// that perfbudget.go folds onto the //mussti:hotpath- and //mussti:inline-
+// annotated functions.
+
+// A FactKind classifies one compiler diagnostic.
+type FactKind int
+
+const (
+	// FactEscape is a heap escape ("moved to heap: x", "... escapes to
+	// heap"), deduplicated by position: -m=2 phrases the same escape
+	// several ways at one site.
+	FactEscape FactKind = iota
+	// FactBounds is a bounds check the SSA backend could not eliminate
+	// ("Found IsInBounds" / "Found IsSliceInBounds").
+	FactBounds
+	// FactCanInline records that a function is inlinable, with its cost in
+	// Detail.
+	FactCanInline
+	// FactCannotInline records why a function is not inlinable in Detail.
+	FactCannotInline
+)
+
+func (k FactKind) String() string {
+	switch k {
+	case FactEscape:
+		return "escape"
+	case FactBounds:
+		return "bounds"
+	case FactCanInline:
+		return "can-inline"
+	case FactCannotInline:
+		return "cannot-inline"
+	}
+	return "unknown"
+}
+
+// A CompilerFact is one diagnostic, positioned by module-root-relative file
+// path.
+type CompilerFact struct {
+	File   string
+	Line   int
+	Col    int
+	Kind   FactKind
+	Detail string // the diagnostic message body
+}
+
+func (f CompilerFact) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Kind, f.Detail)
+}
+
+// BuildFlags are the gcflags handed to every package of the module when
+// collecting facts: full escape analysis traces plus bounds-check debugging.
+const BuildFlags = "-m=2 -d=ssa/check_bce/debug=1"
+
+// factLine matches one positioned diagnostic. Indented continuation lines
+// ("  flow: ...", "  from ..." traces) carry a message starting with a
+// space and are classified away by the Kind matchers instead.
+var factLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// CollectCompilerFacts builds the whole module with diagnostic flags and
+// parses the stream. The build cache replays compiler diagnostics for
+// unchanged packages, so warm runs cost little more than a cache probe. A
+// failed build returns its stderr as the error.
+func CollectCompilerFacts(modroot string) ([]CompilerFact, error) {
+	cmd := exec.Command("go", "build", "-gcflags="+BuildFlags, "./...")
+	cmd.Dir = modroot
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go build -gcflags=%q: %v\n%s", BuildFlags, err, stderr.Bytes())
+	}
+	return parseCompilerFacts(stderr.Bytes())
+}
+
+// parseCompilerFacts decodes the diagnostic stream into deduplicated facts.
+func parseCompilerFacts(out []byte) ([]CompilerFact, error) {
+	var facts []CompilerFact
+	seenEscape := map[string]bool{} // file:line:col, -m=2 repeats escapes
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue // package section header
+		}
+		m := factLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		kind, detail, ok := classifyFact(msg)
+		if !ok {
+			continue
+		}
+		ln, err1 := strconv.Atoi(m[2])
+		col, err2 := strconv.Atoi(m[3])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		file := filepath.ToSlash(strings.TrimPrefix(m[1], "./"))
+		if kind == FactEscape {
+			key := fmt.Sprintf("%s:%d:%d", file, ln, col)
+			if seenEscape[key] {
+				continue
+			}
+			seenEscape[key] = true
+		}
+		facts = append(facts, CompilerFact{File: file, Line: ln, Col: col, Kind: kind, Detail: detail})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("analysis: scanning compiler diagnostics: %v", err)
+	}
+	return facts, nil
+}
+
+// classifyFact maps one diagnostic message to a fact kind, or ok=false for
+// messages the budget does not track (parameter leaks, non-escapes, escape
+// flow traces, inline-call markers).
+func classifyFact(msg string) (FactKind, string, bool) {
+	switch {
+	case strings.HasPrefix(msg, " "):
+		return 0, "", false // indented -m=2 trace continuation
+	case strings.HasPrefix(msg, "moved to heap: "),
+		strings.HasSuffix(msg, "escapes to heap"),
+		strings.HasSuffix(msg, "escapes to heap:"):
+		return FactEscape, strings.TrimSuffix(msg, ":"), true
+	case msg == "Found IsInBounds", msg == "Found IsSliceInBounds":
+		return FactBounds, msg, true
+	case strings.HasPrefix(msg, "can inline "):
+		return FactCanInline, strings.TrimPrefix(msg, "can inline "), true
+	case strings.HasPrefix(msg, "cannot inline "):
+		return FactCannotInline, strings.TrimPrefix(msg, "cannot inline "), true
+	}
+	return 0, "", false
+}

@@ -113,3 +113,5 @@ func TestDeterminismFixtures(t *testing.T) { checkFixturePair(t, DeterminismAnal
 func TestCtxflowFixtures(t *testing.T)     { checkFixturePair(t, CtxflowAnalyzer, "ctxflow") }
 func TestHotallocFixtures(t *testing.T)    { checkFixturePair(t, HotallocAnalyzer, "hotalloc") }
 func TestWirecompatFixtures(t *testing.T)  { checkFixturePair(t, WirecompatAnalyzer, "wirecompat") }
+func TestLeakcheckFixtures(t *testing.T)   { checkFixturePair(t, LeakcheckAnalyzer, "leakcheck") }
+func TestSempairFixtures(t *testing.T)     { checkFixturePair(t, SempairAnalyzer, "sempair") }

@@ -15,6 +15,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // A Package is one loaded, type-checked compilation unit ready for analysis.
@@ -93,13 +95,28 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// listCache memoizes goList output per (dir, patterns) for the life of the
+// process. Every analyzer run over the same tree — the six passes of one
+// Check call, repeated fixture loads in the test binary — shares one
+// `go list -export` invocation, by far the slowest step of a load.
+var listCache sync.Map // string -> []listedPackage
+
 // goList runs `go list -e -deps -export -json` over the patterns and decodes
-// the package stream.
+// the package stream. Results are cached; see listCache. The module mode is
+// forced to -mod=mod so a stray vendor/ directory or workspace default can
+// not starve the loader of export data — unless GOFLAGS explicitly pins a
+// -mod, which is honored (the command line would override GOFLAGS, so the
+// flag is simply not passed then).
 func goList(dir string, patterns []string) ([]listedPackage, error) {
-	args := []string{
-		"list", "-e", "-deps", "-export",
-		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,ImportMap,Incomplete,Error",
+	key := dir + "\x00" + strings.Join(patterns, "\x00")
+	if cached, ok := listCache.Load(key); ok {
+		return cached.([]listedPackage), nil
 	}
+	args := []string{"list", "-e", "-deps", "-export"}
+	if !strings.Contains(os.Getenv("GOFLAGS"), "-mod=") {
+		args = append(args, "-mod=mod")
+	}
+	args = append(args, "-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,ImportMap,Incomplete,Error")
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -120,6 +137,7 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 		}
 		listed = append(listed, lp)
 	}
+	listCache.Store(key, listed)
 	return listed, nil
 }
 

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// This file is the enforcement half of the compiler-feedback tier. The
+// committed perfbudget.json records, for every //mussti:hotpath and
+// //mussti:inline function, what the compiler proved about it: how many
+// heap escapes and unelided bounds checks it contains, and whether it is
+// inlinable. CheckBudget compares a fresh fact collection against the
+// committed file and reports any drift — in either direction, so an
+// improvement is also recorded (by regenerating) rather than silently
+// banked. Regeneration is one command: musstilint -writebudget.
+
+// BudgetFile is the budget's committed location, relative to the module
+// root.
+const BudgetFile = "perfbudget.json"
+
+// A FuncBudget is the compiler-verified profile of one annotated function.
+type FuncBudget struct {
+	// Escapes counts distinct heap-escape sites inside the function.
+	Escapes int `json:"escapes"`
+	// Bounds counts bounds checks the SSA backend could not eliminate.
+	Bounds int `json:"bounds"`
+	// Inline records inlinability for //mussti:inline functions (absent
+	// for hotpath-only functions; never legitimately false in a committed
+	// budget, since -writebudget refuses to record a regression).
+	Inline bool `json:"inline,omitempty"`
+}
+
+// A Budget is the full committed file: the toolchain that produced it plus
+// one entry per annotated function, keyed "pkgpath.(*Recv).Name".
+type Budget struct {
+	Go        string                `json:"go"`
+	GOARCH    string                `json:"goarch"`
+	Functions map[string]FuncBudget `json:"functions"`
+}
+
+// A BudgetResult is a freshly computed budget plus the evidence behind it,
+// for diff reporting.
+type BudgetResult struct {
+	Budget *Budget
+	// FuncFacts holds each function's escape/bounds facts (and its inline
+	// verdict), keyed like Budget.Functions.
+	FuncFacts map[string][]CompilerFact
+	// InlineAnnotated marks the keys carrying //mussti:inline.
+	InlineAnnotated map[string]bool
+	// InlineFailure holds the compiler's reason for each annotated
+	// function that is not inlinable.
+	InlineFailure map[string]string
+}
+
+// ComputeBudget folds a compiler fact stream onto the annotated functions
+// of the loaded packages. Packages with errors are skipped (the caller
+// surfaces those separately); fact positions are module-root-relative,
+// matching CollectCompilerFacts.
+func ComputeBudget(modroot string, pkgs []*Package, facts []CompilerFact) (*BudgetResult, error) {
+	byFile := make(map[string][]CompilerFact)
+	for _, f := range facts {
+		byFile[f.File] = append(byFile[f.File], f)
+	}
+	res := &BudgetResult{
+		Budget:          &Budget{Go: runtime.Version(), GOARCH: runtime.GOARCH, Functions: map[string]FuncBudget{}},
+		FuncFacts:       map[string][]CompilerFact{},
+		InlineAnnotated: map[string]bool{},
+		InlineFailure:   map[string]string{},
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				hot := hasDirective(fn.Doc, "hotpath")
+				inl := hasDirective(fn.Doc, "inline")
+				if !hot && !inl {
+					continue
+				}
+				key := funcKey(pkg.PkgPath, fn)
+				if _, dup := res.Budget.Functions[key]; dup {
+					return nil, fmt.Errorf("analysis: duplicate budget key %s", key)
+				}
+				pos := pkg.Fset.Position(fn.Pos())
+				end := pkg.Fset.Position(fn.End())
+				rel, err := filepath.Rel(modroot, pos.Filename)
+				if err != nil {
+					return nil, fmt.Errorf("analysis: %s outside module root %s: %v", pos.Filename, modroot, err)
+				}
+				rel = filepath.ToSlash(rel)
+				fb := FuncBudget{}
+				for _, fact := range byFile[rel] {
+					if fact.Line < pos.Line || fact.Line > end.Line {
+						continue
+					}
+					switch fact.Kind {
+					case FactEscape:
+						fb.Escapes++
+						res.FuncFacts[key] = append(res.FuncFacts[key], fact)
+					case FactBounds:
+						fb.Bounds++
+						res.FuncFacts[key] = append(res.FuncFacts[key], fact)
+					case FactCanInline, FactCannotInline:
+						if fact.Line == pos.Line && inl {
+							res.FuncFacts[key] = append(res.FuncFacts[key], fact)
+							if fact.Kind == FactCanInline {
+								fb.Inline = true
+							} else {
+								res.InlineFailure[key] = fact.Detail
+							}
+						}
+					}
+				}
+				if inl {
+					res.InlineAnnotated[key] = true
+					if !fb.Inline && res.InlineFailure[key] == "" {
+						res.InlineFailure[key] = "no inlining verdict recorded at the declaration (stale build cache?)"
+					}
+				}
+				res.Budget.Functions[key] = fb
+			}
+		}
+	}
+	return res, nil
+}
+
+// funcKey renders a budget key: pkgpath.Name, pkgpath.Recv.Name or
+// pkgpath.(*Recv).Name.
+func funcKey(pkgPath string, fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return pkgPath + "." + fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	star := false
+	if s, ok := t.(*ast.StarExpr); ok {
+		star = true
+		t = s.X
+	}
+	name := "?"
+	if id, ok := t.(*ast.Ident); ok {
+		name = id.Name
+	}
+	if star {
+		return fmt.Sprintf("%s.(*%s).%s", pkgPath, name, fn.Name.Name)
+	}
+	return fmt.Sprintf("%s.%s.%s", pkgPath, name, fn.Name.Name)
+}
+
+// ReadBudgetFile loads a committed budget.
+func ReadBudgetFile(path string) (*Budget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Budget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing %s: %v", path, err)
+	}
+	if b.Functions == nil {
+		b.Functions = map[string]FuncBudget{}
+	}
+	return &b, nil
+}
+
+// WriteBudgetFile commits a budget, stable and human-diffable (json
+// marshals the function map in key order).
+func WriteBudgetFile(path string, b *Budget) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// A BudgetDrift is one divergence between the committed budget and the
+// compiler's current verdict, with the facts that prove it.
+type BudgetDrift struct {
+	Key     string
+	Message string
+	Facts   []CompilerFact
+}
+
+func (d BudgetDrift) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", d.Key, d.Message)
+	for _, f := range d.Facts {
+		fmt.Fprintf(&b, "\n\t%s", f)
+	}
+	return b.String()
+}
+
+// CheckBudget diffs the committed budget against a fresh result. Any drift
+// — a regression, an improvement, an annotation added or removed — is
+// reported; the committed file must exactly describe the tree.
+func CheckBudget(committed *Budget, res *BudgetResult) []BudgetDrift {
+	var drifts []BudgetDrift
+	add := func(key, msg string, facts []CompilerFact) {
+		drifts = append(drifts, BudgetDrift{Key: key, Message: msg, Facts: facts})
+	}
+	current := res.Budget.Functions
+	for key, cur := range current { //mussti:allow=determinism drifts are sorted before returning
+		want, ok := committed.Functions[key]
+		if !ok {
+			add(key, "annotated in source but missing from "+BudgetFile, nil)
+			continue
+		}
+		if reason, bad := res.InlineFailure[key]; bad && res.InlineAnnotated[key] {
+			add(key, "must stay inlinable but the compiler says: cannot inline: "+reason, nil)
+		}
+		if cur.Escapes != want.Escapes {
+			add(key, fmt.Sprintf("heap escapes drifted: budget %d, compiler now reports %d", want.Escapes, cur.Escapes),
+				factsOfKind(res.FuncFacts[key], FactEscape))
+		}
+		if cur.Bounds != want.Bounds {
+			add(key, fmt.Sprintf("bounds checks drifted: budget %d, compiler now reports %d", want.Bounds, cur.Bounds),
+				factsOfKind(res.FuncFacts[key], FactBounds))
+		}
+	}
+	for key := range committed.Functions { //mussti:allow=determinism drifts are sorted before returning
+		if _, ok := current[key]; !ok {
+			add(key, "present in "+BudgetFile+" but no longer annotated in source", nil)
+		}
+	}
+	sort.Slice(drifts, func(i, j int) bool {
+		if drifts[i].Key != drifts[j].Key {
+			return drifts[i].Key < drifts[j].Key
+		}
+		return drifts[i].Message < drifts[j].Message
+	})
+	return drifts
+}
+
+// InlineRegressions lists the //mussti:inline functions the compiler
+// currently refuses to inline. -writebudget fails on these rather than
+// committing a budget that contradicts its own annotations.
+func (res *BudgetResult) InlineRegressions() []BudgetDrift {
+	var out []BudgetDrift
+	for key := range res.InlineAnnotated { //mussti:allow=determinism regressions are sorted before returning
+		if reason, bad := res.InlineFailure[key]; bad {
+			out = append(out, BudgetDrift{Key: key, Message: "cannot inline: " + reason})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func factsOfKind(facts []CompilerFact, kind FactKind) []CompilerFact {
+	var out []CompilerFact
+	for _, f := range facts {
+		if f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The parser tests feed canned gc diagnostic streams through
+// parseCompilerFacts; the shapes are the ones go1.24 actually emits under
+// -m=2 -d=ssa/check_bce/debug=1 (package headers, duplicated escape
+// phrasings, indented flow traces, ./-relative paths).
+
+func TestParseCompilerFacts(t *testing.T) {
+	stream := `# mussti/internal/dag
+./a.go:10:6: can inline (*Graph).Executed with cost 5 as: ...
+internal/dag/a.go:20:13: make([]int, n) escapes to heap
+internal/dag/a.go:20:13: make([]int, n) escapes to heap:
+internal/dag/a.go:20:13:   flow: ~r0 = &{storage for make([]int, n)}:
+internal/dag/a.go:21:2: moved to heap: x
+internal/dag/a.go:30:9: Found IsInBounds
+internal/dag/a.go:31:9: Found IsSliceInBounds
+# mussti/internal/core
+internal/core/b.go:40:6: cannot inline run: function too complex: cost 900 exceeds budget 80
+internal/core/b.go:41:15: inlining call to small
+internal/core/b.go:42:3: x does not escape
+`
+	facts, err := parseCompilerFacts([]byte(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range facts {
+		got = append(got, f.String())
+	}
+	want := []string{
+		"a.go:10:6: [can-inline] (*Graph).Executed with cost 5 as: ...",
+		"internal/dag/a.go:20:13: [escape] make([]int, n) escapes to heap",
+		"internal/dag/a.go:21:2: [escape] moved to heap: x",
+		"internal/dag/a.go:30:9: [bounds] Found IsInBounds",
+		"internal/dag/a.go:31:9: [bounds] Found IsSliceInBounds",
+		"internal/core/b.go:40:6: [cannot-inline] run: function too complex: cost 900 exceeds budget 80",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d facts, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("fact %d:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseCompilerFactsDedupsEscapesByPosition(t *testing.T) {
+	// -m=2 phrases the same escape several ways at one position; the budget
+	// must count the site once.
+	stream := `./x.go:5:2: moved to heap: buf
+./x.go:5:2: buf escapes to heap
+./x.go:6:2: moved to heap: other
+`
+	facts, err := parseCompilerFacts([]byte(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 2 {
+		t.Fatalf("got %d facts, want 2 (escapes at one position must dedup): %v", len(facts), facts)
+	}
+	if facts[0].File != "x.go" || facts[0].Line != 5 {
+		t.Errorf("first fact at %s:%d, want x.go:5", facts[0].File, facts[0].Line)
+	}
+}
+
+func TestClassifyFactSkipsTraceContinuations(t *testing.T) {
+	for _, msg := range []string{
+		"  flow: p = &x:",
+		"  from p = &x (assign-pair) at ./x.go:4:5",
+		" leaking param: d",
+	} {
+		if _, _, ok := classifyFact(msg); ok {
+			t.Errorf("classifyFact(%q) classified a trace continuation", msg)
+		}
+	}
+}
+
+// budgetFixture builds a committed/current pair that agrees everywhere, for
+// the drift tests to perturb.
+func budgetFixture() (*Budget, *BudgetResult) {
+	committed := &Budget{
+		Go:     runtime.Version(),
+		GOARCH: runtime.GOARCH,
+		Functions: map[string]FuncBudget{
+			"pkg.Hot":        {Escapes: 1, Bounds: 2},
+			"pkg.(*T).Small": {Escapes: 0, Bounds: 0, Inline: true},
+		},
+	}
+	res := &BudgetResult{
+		Budget: &Budget{
+			Go:     runtime.Version(),
+			GOARCH: runtime.GOARCH,
+			Functions: map[string]FuncBudget{
+				"pkg.Hot":        {Escapes: 1, Bounds: 2},
+				"pkg.(*T).Small": {Escapes: 0, Bounds: 0, Inline: true},
+			},
+		},
+		FuncFacts: map[string][]CompilerFact{
+			"pkg.Hot": {
+				{File: "pkg/hot.go", Line: 12, Col: 9, Kind: FactEscape, Detail: "moved to heap: x"},
+				{File: "pkg/hot.go", Line: 14, Col: 3, Kind: FactBounds, Detail: "Found IsInBounds"},
+				{File: "pkg/hot.go", Line: 15, Col: 3, Kind: FactBounds, Detail: "Found IsInBounds"},
+			},
+		},
+		InlineAnnotated: map[string]bool{"pkg.(*T).Small": true},
+		InlineFailure:   map[string]string{},
+	}
+	return committed, res
+}
+
+func TestCheckBudgetClean(t *testing.T) {
+	committed, res := budgetFixture()
+	if drifts := CheckBudget(committed, res); len(drifts) != 0 {
+		t.Fatalf("clean budget drifted: %v", drifts)
+	}
+}
+
+func TestCheckBudgetEscapeDriftCarriesEvidence(t *testing.T) {
+	committed, res := budgetFixture()
+	fns := res.Budget.Functions
+	fns["pkg.Hot"] = FuncBudget{Escapes: 2, Bounds: 2}
+	drifts := CheckBudget(committed, res)
+	if len(drifts) != 1 {
+		t.Fatalf("got %d drifts, want 1: %v", len(drifts), drifts)
+	}
+	d := drifts[0]
+	if d.Key != "pkg.Hot" || !strings.Contains(d.Message, "heap escapes drifted: budget 1, compiler now reports 2") {
+		t.Fatalf("wrong drift: %s", d)
+	}
+	// The evidence must be the escape facts only, not the bounds facts.
+	if len(d.Facts) != 1 || d.Facts[0].Kind != FactEscape {
+		t.Fatalf("drift evidence %v, want exactly the escape fact", d.Facts)
+	}
+}
+
+func TestCheckBudgetBoundsDrift(t *testing.T) {
+	committed, res := budgetFixture()
+	res.Budget.Functions["pkg.Hot"] = FuncBudget{Escapes: 1, Bounds: 3}
+	drifts := CheckBudget(committed, res)
+	if len(drifts) != 1 || !strings.Contains(drifts[0].Message, "bounds checks drifted: budget 2, compiler now reports 3") {
+		t.Fatalf("got %v", drifts)
+	}
+	if len(drifts[0].Facts) != 2 || drifts[0].Facts[0].Kind != FactBounds {
+		t.Fatalf("drift evidence %v, want the two bounds facts", drifts[0].Facts)
+	}
+}
+
+func TestCheckBudgetInlineRegression(t *testing.T) {
+	committed, res := budgetFixture()
+	res.InlineFailure["pkg.(*T).Small"] = "function too complex: cost 90 exceeds budget 80"
+	drifts := CheckBudget(committed, res)
+	if len(drifts) != 1 || !strings.Contains(drifts[0].Message, "must stay inlinable") {
+		t.Fatalf("got %v", drifts)
+	}
+	regs := res.InlineRegressions()
+	if len(regs) != 1 || regs[0].Key != "pkg.(*T).Small" {
+		t.Fatalf("InlineRegressions = %v", regs)
+	}
+}
+
+func TestCheckBudgetAnnotationChurn(t *testing.T) {
+	committed, res := budgetFixture()
+	// A newly annotated function the committed file has never seen, and a
+	// committed entry whose annotation was deleted from source.
+	res.Budget.Functions["pkg.New"] = FuncBudget{}
+	delete(res.Budget.Functions, "pkg.Hot")
+	drifts := CheckBudget(committed, res)
+	if len(drifts) != 2 {
+		t.Fatalf("got %d drifts, want 2: %v", len(drifts), drifts)
+	}
+	// Sorted by key: pkg.Hot (stale) before pkg.New (missing).
+	if drifts[0].Key != "pkg.Hot" || !strings.Contains(drifts[0].Message, "no longer annotated") {
+		t.Errorf("drift 0 = %s", drifts[0])
+	}
+	if drifts[1].Key != "pkg.New" || !strings.Contains(drifts[1].Message, "missing from "+BudgetFile) {
+		t.Errorf("drift 1 = %s", drifts[1])
+	}
+}
+
+func TestBudgetFileRoundTrip(t *testing.T) {
+	committed, _ := budgetFixture()
+	path := filepath.Join(t.TempDir(), BudgetFile)
+	if err := WriteBudgetFile(path, committed); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBudgetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Go != committed.Go || back.GOARCH != committed.GOARCH || len(back.Functions) != len(committed.Functions) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if fb := back.Functions["pkg.(*T).Small"]; !fb.Inline {
+		t.Fatalf("round trip dropped the inline bit: %+v", fb)
+	}
+}
+
+// TestPerfBudgetSelfCheck is the repo eating its own dogfood: the committed
+// perfbudget.json must exactly describe this tree. Skipped on a toolchain
+// other than the one that wrote the budget — escape analysis and inlining
+// costs shift between releases, and CI pins the matching version.
+func TestPerfBudgetSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping module-wide diagnostic build")
+	}
+	modroot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(modroot, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", modroot, err)
+	}
+	committed, err := ReadBudgetFile(filepath.Join(modroot, BudgetFile))
+	if err != nil {
+		t.Fatalf("reading committed budget (generate with `go run ./cmd/musstilint -writebudget`): %v", err)
+	}
+	if committed.Go != runtime.Version() || committed.GOARCH != runtime.GOARCH {
+		t.Skipf("budget written by %s/%s, running %s/%s: verdicts are toolchain-specific",
+			committed.Go, committed.GOARCH, runtime.Version(), runtime.GOARCH)
+	}
+	pkgs, err := Load(modroot, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := CollectCompilerFacts(modroot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ComputeBudget(modroot, pkgs, facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range CheckBudget(committed, res) {
+		t.Errorf("budget drift: %s", d)
+	}
+}

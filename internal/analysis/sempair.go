@@ -1,0 +1,724 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SempairAnalyzer proves the invariant behind eval's slot accounting: the
+// worker-pool semaphore never oversubscribes and never loses capacity. It
+// abstractly interprets every function (and function literal) over all
+// control-flow paths — if/else, loops to a fixpoint, switch, select per comm
+// clause, defer, break/continue/return — tracking two balances:
+//
+//   - semaphore slots: a send on a channel whose name is semaphore-like
+//     ("sem", "semCh", "workerSem", ...) or a call to a method named Acquire
+//     acquires one; the matching receive or a Release call releases it.
+//     Every path to an exit must end with balance zero: a positive balance
+//     is a slot leaked (the pool shrinks forever), a negative one is an
+//     over-release (the pool oversubscribes).
+//   - borrowed slots: v := x.borrowSlots(n) creates a live borrow bound to
+//     v; x.releaseSlots(v) returns it. A path that exits with a live borrow,
+//     or discards the borrowSlots result, can never return the slots.
+//
+// The two blessed low-level primitives themselves (borrowSlots exits holding
+// what it hands the caller; releaseSlots drains on the caller's behalf) are
+// intentionally unbalanced and carry //mussti:allow=sempair directives —
+// every other unbalanced path is a bug. Functions using goto are skipped.
+var SempairAnalyzer = &Analyzer{
+	Name: "sempair",
+	Doc:  "flags semaphore acquire/release and slot borrow/return imbalances on any control-flow path",
+	Run:  runSempair,
+}
+
+const (
+	// semMaxPending saturates the unmatched-acquire stack so loops that
+	// acquire without releasing still reach a fixpoint.
+	semMaxPending = 4
+	// semMaxStates caps the abstract state set per scope; beyond it the
+	// function is skipped rather than mis-reported.
+	semMaxStates = 48
+	// semMaxIters caps loop fixpoint rounds (paranoia; the state lattice is
+	// finite, so this should never bind).
+	semMaxIters = 64
+)
+
+func runSempair(pass *Pass) error {
+	for _, f := range pass.Files {
+		// A function literal that is immediately invoked or deferred runs in
+		// its launcher's scope, so its effects count there; one launched by
+		// go (and one stored or passed as a value) is its own scope.
+		inline := map[*ast.FuncLit]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					inline[lit] = false
+				}
+			case *ast.CallExpr:
+				if lit, ok := n.Fun.(*ast.FuncLit); ok {
+					if _, isGo := inline[lit]; !isGo {
+						inline[lit] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					newSemInterp(pass, inline).checkScope(n.Body)
+				}
+			case *ast.FuncLit:
+				if !inline[n] {
+					newSemInterp(pass, inline).checkScope(n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// --- abstract state ---------------------------------------------------------
+
+// semState is one abstract execution state: the positions of semaphore
+// acquires not yet released on this path, and the live borrowSlots tokens
+// (variable -> borrow position).
+type semState struct {
+	acquires []token.Pos
+	borrows  map[*types.Var]token.Pos
+}
+
+func (st semState) key() string {
+	var b strings.Builder
+	for _, p := range st.acquires {
+		fmt.Fprintf(&b, "a%d,", p)
+	}
+	ps := make([]int, 0, len(st.borrows))
+	for _, p := range st.borrows { //mussti:allow=determinism positions are sorted before use
+		ps = append(ps, int(p))
+	}
+	sort.Ints(ps)
+	for _, p := range ps {
+		fmt.Fprintf(&b, "b%d,", p)
+	}
+	return b.String()
+}
+
+func (st semState) withAcquire(pos token.Pos) semState {
+	if len(st.acquires) >= semMaxPending {
+		return st // saturate: the leak is already visible on shorter paths
+	}
+	next := make([]token.Pos, len(st.acquires)+1)
+	copy(next, st.acquires)
+	next[len(st.acquires)] = pos
+	st.acquires = next
+	return st
+}
+
+func (st semState) withRelease() semState {
+	st.acquires = st.acquires[:len(st.acquires)-1]
+	return st
+}
+
+func (st semState) withBorrow(v *types.Var, pos token.Pos) semState {
+	next := make(map[*types.Var]token.Pos, len(st.borrows)+1)
+	for k, p := range st.borrows {
+		next[k] = p
+	}
+	next[v] = pos
+	st.borrows = next
+	return st
+}
+
+func (st semState) withReturnedBorrow(v *types.Var) semState {
+	if _, live := st.borrows[v]; !live {
+		return st
+	}
+	next := make(map[*types.Var]token.Pos, len(st.borrows))
+	for k, p := range st.borrows {
+		if k != v {
+			next[k] = p
+		}
+	}
+	st.borrows = next
+	return st
+}
+
+// mergeStates unions two state sets, deduplicating by key.
+func mergeStates(a, b []semState) []semState {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[string]bool, len(a)+len(b))
+	out := make([]semState, 0, len(a)+len(b))
+	for _, set := range [2][]semState{a, b} {
+		for _, st := range set {
+			if k := st.key(); !seen[k] {
+				seen[k] = true
+				out = append(out, st)
+			}
+		}
+	}
+	return out
+}
+
+// --- effects ----------------------------------------------------------------
+
+type semOpKind int
+
+const (
+	opAcquire semOpKind = iota
+	opRelease
+	opBorrow        // tok is the bound variable
+	opBorrowDropped // borrowSlots result not bound to a variable
+	opReturnBorrow  // tok may be nil (untracked argument: no effect)
+)
+
+type semOp struct {
+	kind semOpKind
+	pos  token.Pos
+	tok  *types.Var
+}
+
+// semFlows accumulates the states that left the normal fall-through path.
+// Branch states are keyed "break:<label>" / "continue:<label>" ("" for
+// unlabeled) and consumed by the innermost construct they target.
+type semFlows struct {
+	returns  []semState
+	branches map[string][]semState
+}
+
+func (fl *semFlows) branch(kind, label string, states []semState) {
+	if fl.branches == nil {
+		fl.branches = map[string][]semState{}
+	}
+	key := kind + ":" + label
+	fl.branches[key] = append(fl.branches[key], states...)
+}
+
+// take removes and returns the states parked under kind for the empty label
+// and, when non-empty, the given label.
+func (fl *semFlows) take(kind, label string) []semState {
+	out := mergeStates(nil, fl.branches[kind+":"])
+	delete(fl.branches, kind+":")
+	if label != "" {
+		out = mergeStates(out, fl.branches[kind+":"+label])
+		delete(fl.branches, kind+":"+label)
+	}
+	return out
+}
+
+// --- interpreter ------------------------------------------------------------
+
+type semInterp struct {
+	pass     *Pass
+	inline   map[*ast.FuncLit]bool
+	bail     bool
+	reported map[token.Pos]bool
+}
+
+func newSemInterp(pass *Pass, inline map[*ast.FuncLit]bool) *semInterp {
+	return &semInterp{pass: pass, inline: inline, reported: map[token.Pos]bool{}}
+}
+
+func (in *semInterp) reportOnce(pos token.Pos, format string, args ...any) {
+	if !in.reported[pos] {
+		in.reported[pos] = true
+		in.pass.Reportf(pos, format, args...)
+	}
+}
+
+// checkScope interprets one function body. Bodies without semaphore traffic
+// (the overwhelming majority) are skipped after a single cheap scan.
+func (in *semInterp) checkScope(body *ast.BlockStmt) {
+	touches, hasGoto := in.scanScope(body)
+	if !touches || hasGoto {
+		return // goto-using functions are beyond this interpreter; none exist
+	}
+	var fl semFlows
+	out := in.execStmt(body, []semState{{}}, &fl)
+	if in.bail {
+		return
+	}
+	for _, st := range mergeStates(out, fl.returns) {
+		for _, pos := range st.acquires {
+			in.reportOnce(pos, "semaphore slot acquired here is not released on every path to an exit: the pool loses capacity")
+		}
+		for _, pos := range st.borrows { //mussti:allow=determinism reportOnce dedups by position and the checker sorts findings positionally
+			in.reportOnce(pos, "slots borrowed here are not returned via releaseSlots on every path to an exit")
+		}
+	}
+}
+
+// scanScope reports whether the body (excluding nested function literals)
+// contains any semaphore traffic, and whether it uses goto.
+func (in *semInterp) scanScope(body *ast.BlockStmt) (touches, hasGoto bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return in.inline[n]
+		case *ast.BranchStmt:
+			if n.Tok == token.GOTO {
+				hasGoto = true
+			}
+		case *ast.SendStmt:
+			if in.isSemChan(n.Chan) {
+				touches = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && in.isSemChan(n.X) {
+				touches = true
+			}
+		case *ast.CallExpr:
+			if in.callKind(n) >= 0 {
+				touches = true
+			}
+		}
+		return true
+	})
+	return touches, hasGoto
+}
+
+// isSemChan reports whether the expression is a channel whose terminal name
+// marks it as a semaphore.
+func (in *semInterp) isSemChan(e ast.Expr) bool {
+	var name string
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	if !(name == "sem" || strings.HasPrefix(name, "sem") ||
+		strings.HasSuffix(name, "Sem") || strings.HasSuffix(name, "Semaphore")) {
+		return false
+	}
+	t := in.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// callKind classifies a call: 0 = Acquire, 1 = Release, 2 = borrowSlots,
+// 3 = releaseSlots, -1 = not semaphore traffic. Acquire/Release must be
+// method calls (a package-level function named Release is not a semaphore).
+func (in *semInterp) callKind(call *ast.CallExpr) int {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return -1
+	}
+	if in.pass.TypesInfo.Selections[sel] == nil {
+		return -1
+	}
+	switch sel.Sel.Name {
+	case "Acquire":
+		return 0
+	case "Release":
+		return 1
+	case "borrowSlots":
+		return 2
+	case "releaseSlots":
+		return 3
+	}
+	return -1
+}
+
+// nodeOps extracts the semaphore effects of one statement or expression in
+// syntactic order, excluding nested function literals (each is its own
+// scope) and go-statement bodies (the effects run on the new goroutine).
+func (in *semInterp) nodeOps(n ast.Node) []semOp {
+	var ops []semOp
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			// Inline (immediately-invoked or deferred) literals run here, so
+			// their effects apply in this scope, linearized; others do not.
+			return in.inline[x]
+		case *ast.SendStmt:
+			if in.isSemChan(x.Chan) {
+				ops = append(ops, semOp{kind: opAcquire, pos: x.Arrow})
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && in.isSemChan(x.X) {
+				ops = append(ops, semOp{kind: opRelease, pos: x.OpPos})
+			}
+		case *ast.CallExpr:
+			switch in.callKind(x) {
+			case 0:
+				ops = append(ops, semOp{kind: opAcquire, pos: x.Pos()})
+			case 1:
+				ops = append(ops, semOp{kind: opRelease, pos: x.Pos()})
+			case 2:
+				ops = append(ops, semOp{kind: opBorrowDropped, pos: x.Pos()})
+			case 3:
+				ops = append(ops, semOp{kind: opReturnBorrow, pos: x.Pos(), tok: in.argVar(x)})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// argVar resolves a call's single argument to a variable, or nil.
+func (in *semInterp) argVar(call *ast.CallExpr) *types.Var {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := in.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// applyOps threads one effect list through every state.
+func (in *semInterp) applyOps(ops []semOp, states []semState) []semState {
+	for _, op := range ops {
+		if op.kind == opBorrowDropped {
+			in.reportOnce(op.pos, "borrowSlots result is discarded: the borrowed slots can never be returned")
+			continue
+		}
+		out := states[:0:0]
+		for _, st := range states {
+			switch op.kind {
+			case opAcquire:
+				st = st.withAcquire(op.pos)
+			case opRelease:
+				if len(st.acquires) == 0 {
+					in.reportOnce(op.pos, "semaphore released here without a matching acquire on this path: the pool oversubscribes")
+				} else {
+					st = st.withRelease()
+				}
+			case opReturnBorrow:
+				if op.tok != nil {
+					st = st.withReturnedBorrow(op.tok)
+				}
+			}
+			out = append(out, st)
+		}
+		states = mergeStates(nil, out)
+	}
+	return states
+}
+
+// applyNode applies a statement or expression's effects, special-casing
+// borrow bindings (v := x.borrowSlots(n) and var v = x.borrowSlots(n)) so
+// the token attaches to the assigned variable instead of being reported as
+// dropped.
+func (in *semInterp) applyNode(n ast.Node, states []semState) []semState {
+	if n == nil {
+		return states
+	}
+	if lhs, call, ok := in.borrowBinding(n); ok {
+		for _, a := range call.Args {
+			states = in.applyNode(a, states)
+		}
+		v := in.lhsVar(lhs)
+		if v == nil {
+			// Bound to a blank or untrackable target: can't follow it; the
+			// result is still reachable, so stay silent rather than guess.
+			return states
+		}
+		out := states[:0:0]
+		for _, st := range states {
+			if _, live := st.borrows[v]; live {
+				in.reportOnce(call.Pos(), "borrowSlots overwrites %s while previously borrowed slots are still unreturned", v.Name())
+			}
+			out = append(out, st.withBorrow(v, call.Pos()))
+		}
+		return mergeStates(nil, out)
+	}
+	return in.applyOps(in.nodeOps(n), states)
+}
+
+// borrowBinding matches `lhs = x.borrowSlots(n)`, `lhs := ...` and
+// `var lhs = ...` forms with a single target.
+func (in *semInterp) borrowBinding(n ast.Node) (ast.Expr, *ast.CallExpr, bool) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && in.callKind(call) == 2 {
+				return n.Lhs[0], call, true
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && len(gd.Specs) == 1 {
+			if vs, ok := gd.Specs[0].(*ast.ValueSpec); ok && len(vs.Names) == 1 && len(vs.Values) == 1 {
+				if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok && in.callKind(call) == 2 {
+					return vs.Names[0], call, true
+				}
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// lhsVar resolves an assignment target to its variable, or nil.
+func (in *semInterp) lhsVar(lhs ast.Expr) *types.Var {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := in.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := in.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// isPanicCall matches a statement that unconditionally unwinds.
+func (in *semInterp) isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// --- statement execution ----------------------------------------------------
+
+func (in *semInterp) execBlock(list []ast.Stmt, states []semState, fl *semFlows) []semState {
+	for _, s := range list {
+		states = in.execStmt(s, states, fl)
+		if in.bail {
+			return nil
+		}
+	}
+	return states
+}
+
+func (in *semInterp) execStmt(s ast.Stmt, states []semState, fl *semFlows) []semState {
+	if in.bail || len(states) == 0 {
+		return nil
+	}
+	if len(states) > semMaxStates {
+		in.bail = true
+		return nil
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return in.execBlock(s.List, states, fl)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			states = in.execStmt(s.Init, states, fl)
+		}
+		states = in.applyNode(s.Cond, states)
+		thenOut := in.execStmt(s.Body, states, fl)
+		elseOut := states
+		if s.Else != nil {
+			elseOut = in.execStmt(s.Else, states, fl)
+		}
+		return mergeStates(thenOut, elseOut)
+	case *ast.ForStmt:
+		return in.execFor(s, states, fl, "")
+	case *ast.RangeStmt:
+		return in.execRange(s, states, fl, "")
+	case *ast.LabeledStmt:
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt:
+			return in.execFor(inner, states, fl, s.Label.Name)
+		case *ast.RangeStmt:
+			return in.execRange(inner, states, fl, s.Label.Name)
+		case *ast.SwitchStmt:
+			return in.execSwitch(inner, states, fl, s.Label.Name)
+		case *ast.TypeSwitchStmt:
+			return in.execTypeSwitch(inner, states, fl, s.Label.Name)
+		case *ast.SelectStmt:
+			return in.execSelect(inner, states, fl, s.Label.Name)
+		default:
+			return in.execStmt(s.Stmt, states, fl)
+		}
+	case *ast.SwitchStmt:
+		return in.execSwitch(s, states, fl, "")
+	case *ast.TypeSwitchStmt:
+		return in.execTypeSwitch(s, states, fl, "")
+	case *ast.SelectStmt:
+		return in.execSelect(s, states, fl, "")
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			states = in.applyNode(e, states)
+		}
+		fl.returns = append(fl.returns, states...)
+		return nil
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			fl.branch("break", label, states)
+		case token.CONTINUE:
+			fl.branch("continue", label, states)
+		case token.GOTO:
+			in.bail = true
+		case token.FALLTHROUGH:
+			// Treated as end-of-case: the next case's body re-runs from the
+			// switch entry state, a mild over-approximation.
+		}
+		return nil
+	case *ast.GoStmt:
+		// The body's effects run on the new goroutine (its literal is its
+		// own scope); only the argument expressions evaluate here.
+		for _, a := range s.Call.Args {
+			states = in.applyNode(a, states)
+		}
+		return states
+	case *ast.DeferStmt:
+		// A deferred release runs at exit; for pairing purposes applying it
+		// here is equivalent (the analyzer checks balance, not timing).
+		return in.applyNode(s.Call, states)
+	default:
+		if in.isPanicCall(s) {
+			in.applyNode(s, states) // argument effects still happen
+			return nil              // then the path unwinds
+		}
+		return in.applyNode(s, states)
+	}
+}
+
+func (in *semInterp) execFor(s *ast.ForStmt, states []semState, fl *semFlows, label string) []semState {
+	if s.Init != nil {
+		states = in.execStmt(s.Init, states, fl)
+	}
+	var exits []semState
+	seen := map[string]bool{}
+	work := states
+	for iter := 0; len(work) > 0 && !in.bail; iter++ {
+		if iter >= semMaxIters {
+			in.bail = true
+			return nil
+		}
+		var fresh []semState
+		for _, st := range work {
+			if k := st.key(); !seen[k] {
+				seen[k] = true
+				fresh = append(fresh, st)
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		if s.Cond != nil {
+			fresh = in.applyNode(s.Cond, fresh)
+			// The condition can be false on loop entry or any iteration.
+			exits = mergeStates(exits, fresh)
+		}
+		out := in.execStmt(s.Body, fresh, fl)
+		cont := mergeStates(out, fl.take("continue", label))
+		if s.Post != nil {
+			cont = in.execStmt(s.Post, cont, fl)
+		}
+		exits = mergeStates(exits, fl.take("break", label))
+		work = cont
+	}
+	return exits
+}
+
+func (in *semInterp) execRange(s *ast.RangeStmt, states []semState, fl *semFlows, label string) []semState {
+	states = in.applyNode(s.X, states)
+	exits := states // zero iterations
+	seen := map[string]bool{}
+	work := states
+	for iter := 0; len(work) > 0 && !in.bail; iter++ {
+		if iter >= semMaxIters {
+			in.bail = true
+			return nil
+		}
+		var fresh []semState
+		for _, st := range work {
+			if k := st.key(); !seen[k] {
+				seen[k] = true
+				fresh = append(fresh, st)
+			}
+		}
+		if len(fresh) == 0 {
+			break
+		}
+		out := in.execStmt(s.Body, fresh, fl)
+		cont := mergeStates(out, fl.take("continue", label))
+		exits = mergeStates(exits, cont) // the range can end after any iteration
+		exits = mergeStates(exits, fl.take("break", label))
+		work = cont
+	}
+	return exits
+}
+
+func (in *semInterp) execSwitch(s *ast.SwitchStmt, states []semState, fl *semFlows, label string) []semState {
+	if s.Init != nil {
+		states = in.execStmt(s.Init, states, fl)
+	}
+	if s.Tag != nil {
+		states = in.applyNode(s.Tag, states)
+	}
+	var out []semState
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		st := states
+		for _, e := range cc.List {
+			st = in.applyNode(e, st)
+		}
+		out = mergeStates(out, in.execBlock(cc.Body, st, fl))
+	}
+	if !hasDefault {
+		out = mergeStates(out, states) // no case matched
+	}
+	return mergeStates(out, fl.take("break", label))
+}
+
+func (in *semInterp) execTypeSwitch(s *ast.TypeSwitchStmt, states []semState, fl *semFlows, label string) []semState {
+	if s.Init != nil {
+		states = in.execStmt(s.Init, states, fl)
+	}
+	states = in.execStmt(s.Assign, states, fl)
+	var out []semState
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		out = mergeStates(out, in.execBlock(cc.Body, states, fl))
+	}
+	if !hasDefault {
+		out = mergeStates(out, states)
+	}
+	return mergeStates(out, fl.take("break", label))
+}
+
+func (in *semInterp) execSelect(s *ast.SelectStmt, states []semState, fl *semFlows, label string) []semState {
+	if len(s.Body.List) == 0 {
+		return nil // empty select blocks forever
+	}
+	var out []semState
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		st := states
+		if cc.Comm != nil {
+			st = in.execStmt(cc.Comm, st, fl)
+		}
+		out = mergeStates(out, in.execBlock(cc.Body, st, fl))
+	}
+	return mergeStates(out, fl.take("break", label))
+}

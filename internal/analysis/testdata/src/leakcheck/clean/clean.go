@@ -1,0 +1,79 @@
+// Package clean is the leakcheck analyzer's positive fixture: every
+// goroutine carries a completion signal the launcher can join, every
+// blocking loop can observe cancellation, and the allow directive documents
+// the one deliberate exception.
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+// joined launches workers that report through a WaitGroup.
+func joined(work func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// closer signals completion by closing a channel the launcher receives on.
+func closer(work func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// sender delivers its result: the send is the join.
+func sender(compute func() int) int {
+	out := make(chan int, 1)
+	go func() {
+		out <- compute()
+	}()
+	return <-out
+}
+
+// cancellable blocks on channels but selects on ctx.Done at every step.
+func cancellable(ctx context.Context, in, out chan int) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case v := <-in:
+			select {
+			case out <- v:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// nonBlocking drains what is immediately available: a select with a default
+// clause never stalls the loop.
+func nonBlocking(ch chan int) int {
+	total := 0
+	for {
+		select {
+		case v := <-ch:
+			total += v
+		default:
+			return total
+		}
+	}
+}
+
+// allowed documents why its loop cannot stall.
+func allowed(sem chan struct{}, n int) {
+	for ; n > 0; n-- {
+		<-sem //mussti:allow=leakcheck every token was placed by this goroutine, so the receive never blocks
+	}
+}

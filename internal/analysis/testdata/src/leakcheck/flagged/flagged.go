@@ -1,0 +1,55 @@
+// Package flagged is the leakcheck analyzer's negative fixture: goroutines
+// with no joinable completion signal, and loops that block on channel
+// operations with no way to observe cancellation.
+package flagged
+
+import "context"
+
+// fireAndForget launches a goroutine nothing can ever join.
+func fireAndForget(work func()) {
+	go func() { // want `no completion signal`
+		work()
+	}()
+}
+
+// bareCall launches a named function directly: even if work signals
+// somewhere, the launcher cannot see it here.
+func bareCall(work func()) {
+	go work() // want `plain call with no completion signal`
+}
+
+// drainAll blocks on a receive every iteration with no Done case in reach.
+func drainAll(ctx context.Context, ch chan int) int {
+	total := 0
+	for i := 0; i < 8; i++ {
+		total += <-ch // want `cancellation cannot interrupt`
+	}
+	_ = ctx
+	return total
+}
+
+// pump sends in a loop with no Done case.
+func pump(ch chan int, n int) {
+	for i := 0; i < n; i++ {
+		ch <- i // want `cancellation cannot interrupt`
+	}
+}
+
+// rangeChan ranges over a channel: a blocking receive per iteration.
+func rangeChan(ch chan int) int {
+	total := 0
+	for v := range ch { // want `cancellation cannot interrupt`
+		total += v
+	}
+	return total
+}
+
+// selectNoDone blocks in a select that knows nothing of cancellation.
+func selectNoDone(a, b chan int) {
+	for {
+		select { // want `cancellation cannot interrupt`
+		case v := <-a:
+			b <- v
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package clean is the sempair analyzer's positive fixture: balanced
+// semaphore and borrow traffic across branches, loops, selects and defers,
+// plus allow-directive coverage for the two deliberately unbalanced
+// primitive shapes.
+package clean
+
+import "context"
+
+type pool struct{ sem chan struct{} }
+
+func (p *pool) borrowSlots(n int) int { return n }
+
+func (p *pool) releaseSlots(n int) { _ = n }
+
+// balanced pairs acquire and release on the straight path.
+func balanced(p *pool, work func()) {
+	p.sem <- struct{}{}
+	work()
+	<-p.sem
+}
+
+// deferred releases via defer, which covers every path including the early
+// return.
+func deferred(p *pool, work func() bool) bool {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	if !work() {
+		return false
+	}
+	return true
+}
+
+// selectAcquire acquires through a select and releases on both exits.
+func selectAcquire(ctx context.Context, p *pool, work func()) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case p.sem <- struct{}{}:
+	}
+	work()
+	<-p.sem
+	return nil
+}
+
+// worker loops acquiring and releasing once per iteration.
+func worker(ctx context.Context, p *pool, jobs []func()) {
+	for _, j := range jobs {
+		select {
+		case <-ctx.Done():
+			return
+		case p.sem <- struct{}{}:
+		}
+		j()
+		<-p.sem
+	}
+}
+
+// borrower returns everything it borrowed on both paths (extra may be zero:
+// releasing an unborrowed count is the no-op contract).
+func borrower(p *pool, boost bool, work func(int)) {
+	extra := 0
+	if boost {
+		extra = p.borrowSlots(2)
+	}
+	work(1 + extra)
+	p.releaseSlots(extra)
+}
+
+// prim mirrors eval's blessed unbalanced helpers: the imbalance is the
+// contract, documented by the allow directives.
+type prim struct{ sem chan struct{} }
+
+func (p *prim) grab(n int) int {
+	got := 0
+	for got < n {
+		select {
+		case p.sem <- struct{}{}: //mussti:allow=sempair the claimed slots are handed to the caller, who returns them via put
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+func (p *prim) put(n int) {
+	for ; n > 0; n-- {
+		<-p.sem //mussti:allow=sempair returns slots the caller claimed via grab
+	}
+}

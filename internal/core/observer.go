@@ -72,20 +72,33 @@ type replayObserver struct {
 	events []observerEvent
 }
 
+// The recording methods run once per scheduled event inside a candidate
+// pass — the same cadence as the scheduler's own inner loop — so they are
+// budgeted hot paths: amortised append growth is the only allocation.
+//
+//mussti:hotpath
 func (r *replayObserver) GateScheduled(done, total int) {
 	r.events = append(r.events, observerEvent{kind: evGate, x: done, y: total})
 }
+
+//mussti:hotpath
 func (r *replayObserver) Shuttle(q, from, to int) {
 	r.events = append(r.events, observerEvent{kind: evShuttle, x: q, y: from, z: to})
 }
+
+//mussti:hotpath
 func (r *replayObserver) Eviction(victim, from, to int) {
 	r.events = append(r.events, observerEvent{kind: evEviction, x: victim, y: from, z: to})
 }
+
+//mussti:hotpath
 func (r *replayObserver) SwapInserted(a, b int) {
 	r.events = append(r.events, observerEvent{kind: evSwap, x: a, y: b})
 }
 
 // replay delivers the recorded events to obs in recording order.
+//
+//mussti:hotpath
 func (r *replayObserver) replay(obs Observer) {
 	for _, e := range r.events {
 		switch e.kind {

@@ -248,6 +248,7 @@ func (s *scheduler) pickLRUVictim(z, keepA, keepB int) int {
 // answers were precomputed by buildNextUseTables at scheduler construction.
 //
 //mussti:hotpath
+//mussti:inline
 func (s *scheduler) nextUse(q int) int {
 	return int(s.next2q[q][s.cursor[q]])
 }

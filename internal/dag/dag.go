@@ -162,8 +162,10 @@ func (g *Graph) Reset() { g.reset() }
 // The clone starts unexecuted; it is as if Build had run twice, minus the
 // O(g) construction. Cloning does not read g's execution state, so it is
 // safe even while g itself is mid-schedule on another goroutine.
+//
+//mussti:hotpath
 func (g *Graph) Clone() *Graph {
-	c := &Graph{Nodes: g.Nodes, ByQubit: g.ByQubit}
+	c := &Graph{Nodes: g.Nodes, ByQubit: g.ByQubit} //mussti:allow=hotalloc one graph header per clone; reset reuses nothing of g's state
 	c.reset()
 	return c
 }
@@ -183,6 +185,7 @@ func (g *Graph) Done() bool { return g.nLeft == 0 }
 // must not retain it across frontier reads.
 //
 //mussti:hotpath
+//mussti:inline
 func (g *Graph) Frontier() []int {
 	if cap(g.frontierBuf) < len(g.frontier) {
 		g.frontierBuf = make([]int, 0, cap(g.frontier)) //mussti:allow=hotalloc scratch grows to the widest frontier, then stays
@@ -200,6 +203,7 @@ func (g *Graph) FirstUnexecuted() int { return g.watermark }
 // Executed reports whether node id has been executed.
 //
 //mussti:hotpath
+//mussti:inline
 func (g *Graph) Executed(id int) bool { return g.executed[id] }
 
 // Execute marks a frontier node as done and unlocks its successors.
@@ -230,6 +234,7 @@ func (g *Graph) Execute(id int) {
 // frontierIndex binary-searches the sorted frontier for id; -1 when absent.
 //
 //mussti:hotpath
+//mussti:inline
 func (g *Graph) frontierIndex(id int) int {
 	lo, hi := 0, len(g.frontier)
 	for lo < hi {
@@ -251,6 +256,7 @@ func (g *Graph) frontierIndex(id int) int {
 // frontier, so this is a real insertion, not an append.
 //
 //mussti:hotpath
+//mussti:inline
 func (g *Graph) frontierInsert(id int) {
 	lo, hi := 0, len(g.frontier)
 	for lo < hi {
@@ -360,6 +366,7 @@ func (g *Graph) WalkAhead(k int, visit func(layer int, n *Node)) {
 // waHeapPush adds id to the binary min-heap h.
 //
 //mussti:hotpath
+//mussti:inline
 func waHeapPush(h []int32, id int32) []int32 {
 	h = append(h, id)
 	i := len(h) - 1

@@ -91,7 +91,7 @@ func NewCoordinator(n int, argv []string, opts *CoordinatorOptions) (*Coordinato
 			c.Close()
 			return nil, err
 		}
-		c.idle <- w
+		c.idle <- w //mussti:allow=leakcheck idle is buffered to exactly n and this pre-fill is its only writer, so the send never blocks
 	}
 	return c, nil
 }

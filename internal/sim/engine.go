@@ -205,6 +205,7 @@ func (e *Engine) record(kind string, q1, q2 int, zone, zoneB int, start, dur flo
 // against the chains themselves).
 //
 //mussti:hotpath
+//mussti:inline
 func (e *Engine) indexInChain(q int) int {
 	if e.loc[q] == -1 {
 		panic(fmt.Sprintf("sim: chain index of unplaced qubit %d", q))
