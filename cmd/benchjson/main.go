@@ -146,10 +146,62 @@ func compileBatchBench(app string, nvariants int) func(b *testing.B) {
 	}
 }
 
+// distBench measures dispatch throughput through a two-worker fleet of
+// re-executed benchjson processes in -worker mode, each job a trivial
+// sub-millisecond compile with the worker's cache disabled (every envelope
+// pays a real compile: the entry measures transport + compile, never memo
+// hits). pipeline is the per-worker window: 1 is lockstep — one job on the
+// wire per worker, the pre-pipelining shape — so ns/op(roundtrip) /
+// ns/op(pipelined) is the multiplexing speedup in jobs/s. Concurrent
+// submitters keep every window full; the coordinator coalesces their
+// window-mates into batched envelopes exactly as a -dist experiment run
+// would.
+func distBench(pipeline int) func(b *testing.B) {
+	return func(b *testing.B) {
+		exe, err := os.Executable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		coord, err := mussti.NewCoordinator(2, []string{exe, "-worker"},
+			&mussti.CoordinatorOptions{Pipeline: pipeline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer coord.Close()
+		spec := mussti.CompileSpec{App: "GHZ_n32", Compiler: "mussti",
+			Config: mussti.NewCompileConfig(mussti.WithMapping(mussti.MappingTrivial))}
+		job := mussti.EvalJob{Spec: &spec}
+		ctx := context.Background()
+		// Absorb process start and first-compile warmup outside the timer.
+		if _, err := coord.RunJob(ctx, job); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.SetParallelism(8) // 8×GOMAXPROCS submitters: windows stay full at any pipeline
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := coord.RunJob(ctx, job); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	}
+}
+
 func main() {
 	out := flag.String("o", "BENCH_compile.json", `output path ("-" for stdout)`)
 	maxprocs := flag.Int("gomaxprocs", 4, "GOMAXPROCS to measure at (the parallel entries need >1; 0 = leave the runtime default)")
+	worker := flag.Bool("worker", false, "run as a dist worker process for the dist/* entries (spawned by benchjson itself, not for direct use)")
 	flag.Parse()
+	if *worker {
+		r := mussti.NewRunner(1)
+		r.DisableCache()
+		if err := mussti.ServeWorker(context.Background(), os.Stdin, os.Stdout, r); err != nil {
+			os.Exit(1)
+		}
+		return
+	}
 	if *maxprocs > 0 {
 		runtime.GOMAXPROCS(*maxprocs)
 	}
@@ -162,6 +214,8 @@ func main() {
 		measure("compile/SQRT_n299", compileBench("SQRT_n299")),
 		measure("compile-parallel/SQRT_n299", compileParallelBench("SQRT_n299", 2)),
 		measure("compilebatch/QFT_n32x8", compileBatchBench("QFT_n32", 8)),
+		measure("dist/roundtrip", distBench(1)),
+		measure("dist/pipelined", distBench(4)),
 		measure("dag/build/SQRT_n299", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if g := dag.Build(big); g.Done() {

@@ -28,6 +28,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,8 +47,10 @@ func realMain() int {
 	parallel := flag.Bool("parallel", true, "fan measurements (and, in all-experiments mode, whole experiments) out over a worker pool")
 	jobs := flag.Int("j", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	cache := flag.Bool("cache", true, "dedupe identical measurement points across experiments (needs -parallel)")
-	batch := flag.Bool("batch", true, "group same-circuit measurements into shared-prep batch compiles (needs -parallel; no effect with -dist)")
-	distN := flag.Int("dist", 0, "distribute measurements across N spawned worker processes (implies -parallel)")
+	batch := flag.Bool("batch", true, "group same-circuit measurements into shared-prep batch compiles; with -dist, also coalesce jobs into batched wire envelopes (needs -parallel or -dist)")
+	distFlag := flag.String("dist", "", "distribute measurements across N spawned worker processes (\"auto\" sizes the fleet from NumCPU; implies -parallel)")
+	pipeline := flag.Int("pipeline", 0, "jobs kept in flight per -dist worker (0 = default window of 4; 1 = lockstep dispatch)")
+	launcher := flag.String("launcher", "", "command prefix wrapping each -dist worker, e.g. \"ssh -o BatchMode=yes build-02\" (default: local processes)")
 	worker := flag.Bool("worker", false, "run as a distributed worker: read job envelopes on stdin, write measurement envelopes to stdout (what -dist coordinators spawn)")
 	cacheDir := flag.String("cachedir", "", "shared on-disk measurement cache directory: repeated runs and whole -dist fleets compile each point once, ever")
 	progress := flag.Bool("progress", false, "print per-job progress tick lines to stderr (needs -parallel)")
@@ -55,6 +58,29 @@ func realMain() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	flag.Parse()
+
+	// -dist takes a worker count or "auto" (fleet sized from the machine's
+	// CPU count); flag mistakes fail up front, before anything compiles.
+	distN := 0
+	switch {
+	case *distFlag == "":
+	case *distFlag == "auto":
+		distN = runtime.NumCPU()
+	default:
+		n, err := strconv.Atoi(*distFlag)
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "experiments: -dist wants a positive worker count or \"auto\", got %q\n", *distFlag)
+			return 2
+		}
+		distN = n
+	}
+	if *pipeline < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -pipeline wants a window of at least 1 (or 0 for the default), got %d\n", *pipeline)
+		return 2
+	}
+	if distN == 0 && (*pipeline > 0 || *launcher != "") {
+		fmt.Fprintln(os.Stderr, "experiments: -pipeline and -launcher need -dist; ignoring")
+	}
 
 	// Profiling flags so perf work on the compilers is driven by pprof
 	// rather than guesswork:
@@ -103,6 +129,9 @@ func realMain() int {
 		r := mussti.NewRunner(1)
 		if !*cache {
 			r.DisableCache()
+		}
+		if !*batch {
+			r.DisableBatching()
 		}
 		if *cacheDir != "" {
 			dc, err := mussti.NewDiskCache(*cacheDir)
@@ -164,11 +193,12 @@ func realMain() int {
 	}()
 	var runner *mussti.Runner
 	switch {
-	case *distN > 0:
-		// Distributed mode: the runner's pool is sized to the fleet and its
-		// jobs dispatch to spawned copies of this binary in worker mode.
-		// Scheduling, dedup and paper-order reassembly stay coordinator-side,
-		// so the rendered tables are byte-identical to any other mode.
+	case distN > 0:
+		// Distributed mode: the runner's pool is sized to the fleet's
+		// in-flight capacity and its jobs dispatch to spawned copies of this
+		// binary in worker mode. Scheduling, dedup and paper-order
+		// reassembly stay coordinator-side, so the rendered tables are
+		// byte-identical to any other mode.
 		exe, err := os.Executable()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: -dist:", err)
@@ -181,13 +211,23 @@ func realMain() int {
 		if *cacheDir != "" && *cache {
 			argv = append(argv, "-cachedir", *cacheDir)
 		}
-		coord, err := mussti.NewCoordinator(*distN, argv, nil)
+		// -batch reaches the whole transport: with it off, the workers skip
+		// shared-prep batch compiles AND the coordinator ships every job as
+		// its own envelope instead of coalescing window-mates.
+		if !*batch {
+			argv = append(argv, "-batch=false")
+		}
+		opts := &mussti.CoordinatorOptions{Pipeline: *pipeline, DisableCoalescing: !*batch}
+		if *launcher != "" {
+			opts.Launcher = mussti.CommandLauncher{Prefix: strings.Fields(*launcher)}
+		}
+		coord, err := mussti.NewCoordinator(distN, argv, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: -dist:", err)
 			return 1
 		}
 		defer coord.Close()
-		runner = mussti.NewRunner(*distN)
+		runner = mussti.NewRunner(distN)
 		runner.SetRemote(coord)
 		if !*cache {
 			runner.DisableCache()

@@ -218,12 +218,14 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 	}{
 		{"empty", ""},
 		{"not json", "seq=1 spec=GHZ"},
-		{"truncated", `{"v":1,"seq":1,"spec":{"app":"GH`},
-		{"wrong version", `{"v":99,"seq":1,"spec":{"app":"GHZ_n32","compiler":"mussti"}}`},
-		{"zero version", `{"seq":1,"spec":{"app":"GHZ_n32","compiler":"mussti"}}`},
-		{"unknown field", `{"v":1,"seq":1,"spec":{"app":"GHZ_n32","compiler":"mussti","bogus":3}}`},
-		{"trailing garbage", `{"v":1,"seq":1,"spec":{"app":"GHZ_n32","compiler":"mussti"}}{"v":1}`},
-		{"wrong types", `{"v":1,"seq":"one","spec":{"app":"GHZ_n32","compiler":"mussti"}}`},
+		{"truncated", `{"v":2,"kind":"job","seq":1,"spec":{"app":"GH`},
+		{"wrong version", `{"v":99,"kind":"job","seq":1,"spec":{"app":"GHZ_n32","compiler":"mussti"}}`},
+		{"zero version", `{"kind":"job","seq":1,"spec":{"app":"GHZ_n32","compiler":"mussti"}}`},
+		{"missing kind", `{"v":2,"seq":1,"spec":{"app":"GHZ_n32","compiler":"mussti"}}`},
+		{"wrong kind", `{"v":2,"kind":"result","seq":1,"spec":{"app":"GHZ_n32","compiler":"mussti"}}`},
+		{"unknown field", `{"v":2,"kind":"job","seq":1,"spec":{"app":"GHZ_n32","compiler":"mussti","bogus":3}}`},
+		{"trailing garbage", `{"v":2,"kind":"job","seq":1,"spec":{"app":"GHZ_n32","compiler":"mussti"}}{"v":2}`},
+		{"wrong types", `{"v":2,"kind":"job","seq":"one","spec":{"app":"GHZ_n32","compiler":"mussti"}}`},
 		{"array", `[1,2,3]`},
 	}
 	for _, c := range cases {
@@ -236,15 +238,178 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		data string
 	}{
 		{"empty", ""},
-		{"wrong version", `{"v":2,"seq":1,"err":"x"}`},
-		{"neither outcome", `{"v":1,"seq":1}`},
-		{"both outcomes", `{"v":1,"seq":1,"measurement":{},"err":"x"}`},
-		{"unknown field", `{"v":1,"seq":1,"err":"x","extra":true}`},
+		{"wrong version", `{"v":99,"kind":"result","seq":1,"err":"x"}`},
+		{"missing kind", `{"v":2,"seq":1,"err":"x"}`},
+		{"wrong kind", `{"v":2,"kind":"pong","seq":1,"err":"x"}`},
+		{"neither outcome", `{"v":2,"kind":"result","seq":1}`},
+		{"both outcomes", `{"v":2,"kind":"result","seq":1,"measurement":{},"err":"x"}`},
+		{"unknown field", `{"v":2,"kind":"result","seq":1,"err":"x","extra":true}`},
 	}
 	for _, c := range results {
 		if _, err := DecodeResult([]byte(c.data)); err == nil {
 			t.Errorf("DecodeResult(%s) accepted malformed input", c.name)
 		}
+	}
+}
+
+// TestDecodeRejectsOldWireVersion pins the version bump: a v1 envelope (the
+// pre-pipelining wire format — kindless, one job per frame) must be refused
+// by every v2 entry point, so a mixed-version fleet fails loudly at the
+// first frame instead of silently misinterpreting the stream.
+func TestDecodeRejectsOldWireVersion(t *testing.T) {
+	v1Job := `{"v":1,"seq":1,"spec":{"app":"GHZ_n32","compiler":"mussti"}}`
+	v1Result := `{"v":1,"seq":1,"err":"x"}`
+	if _, _, err := DecodeJob([]byte(v1Job)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("DecodeJob accepted a v1 envelope (err %v); the wire version bump must reject it", err)
+	}
+	if _, err := DecodeResult([]byte(v1Result)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("DecodeResult accepted a v1 envelope (err %v)", err)
+	}
+	if _, err := SniffFrame([]byte(v1Job)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("SniffFrame accepted a v1 frame (err %v)", err)
+	}
+}
+
+// TestSniffFrameRoutesKinds: the loose probe must report every kind the
+// strict decoders accept, and reject kindless or version-skewed frames
+// before any shape-specific parsing.
+func TestSniffFrameRoutesKinds(t *testing.T) {
+	s := eval.CompileSpec{App: "GHZ_n32", Compiler: "mussti"}
+	spec, err := WireSpecOf(eval.Job{Spec: &s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := []struct {
+		kind string
+		make func() ([]byte, error)
+	}{
+		{KindJob, func() ([]byte, error) { return EncodeJobSpec(1, spec) }},
+		{KindBatch, func() ([]byte, error) { return EncodeBatch([]WireJob{{Seq: 1, Spec: spec}}) }},
+		{KindPing, func() ([]byte, error) { return EncodePing(2) }},
+		{KindPong, func() ([]byte, error) { return EncodePong(2) }},
+		{KindResult, func() ([]byte, error) { return EncodeResult(3, eval.Measurement{}, nil) }},
+		{KindResults, func() ([]byte, error) {
+			return EncodeBatchResult([]WireResult{NewWireResult(3, eval.Measurement{}, nil)})
+		}},
+	}
+	for _, f := range frames {
+		line, err := f.make()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", f.kind, err)
+		}
+		kind, err := SniffFrame(line)
+		if err != nil {
+			t.Errorf("%s: sniff: %v", f.kind, err)
+		} else if kind != f.kind {
+			t.Errorf("sniffed %q, want %q", kind, f.kind)
+		}
+	}
+	if _, err := SniffFrame([]byte(`{"v":2,"seq":1}`)); err == nil {
+		t.Error("SniffFrame accepted a kindless frame")
+	}
+	if _, err := SniffFrame([]byte(`not json`)); err == nil {
+		t.Error("SniffFrame accepted non-JSON")
+	}
+}
+
+// TestBatchRoundTrip: a coalesced batch frame must decode into exactly the
+// member seqs and jobs it was built from, and empty batches are refused on
+// both sides.
+func TestBatchRoundTrip(t *testing.T) {
+	apps := []string{"GHZ_n32", "BV_n32", "QAOA_n32"}
+	wire := make([]WireJob, len(apps))
+	for i, app := range apps {
+		s := eval.CompileSpec{App: app, Compiler: "mussti", Grid: arch.MustNewGrid(2, 2, 12)}
+		spec, err := WireSpecOf(eval.Job{Spec: &s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire[i] = WireJob{Seq: uint64(100 + i), Spec: spec}
+	}
+	line, err := EncodeBatch(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, jobs, err := DecodeBatch(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != len(apps) || len(jobs) != len(apps) {
+		t.Fatalf("batch of %d decoded to %d seqs / %d jobs", len(apps), len(seqs), len(jobs))
+	}
+	for i := range apps {
+		if seqs[i] != uint64(100+i) {
+			t.Errorf("member %d: seq %d, want %d", i, seqs[i], 100+i)
+		}
+		got, err := jobs[i].Resolve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.App != apps[i] {
+			t.Errorf("member %d: app %q, want %q", i, got.App, apps[i])
+		}
+	}
+	if _, err := EncodeBatch(nil); err == nil {
+		t.Error("EncodeBatch accepted an empty batch")
+	}
+	if _, _, err := DecodeBatch([]byte(`{"v":2,"kind":"batch","jobs":[]}`)); err == nil {
+		t.Error("DecodeBatch accepted an empty batch")
+	}
+}
+
+// TestHeartbeatRoundTrip: pings and pongs carry their seq, and the decoder
+// refuses every other kind.
+func TestHeartbeatRoundTrip(t *testing.T) {
+	ping, err := EncodePing(41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, seq, err := DecodeHeartbeat(ping)
+	if err != nil || kind != KindPing || seq != 41 {
+		t.Errorf("ping round-trip: kind %q seq %d err %v", kind, seq, err)
+	}
+	pong, err := EncodePong(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, seq, err = DecodeHeartbeat(pong)
+	if err != nil || kind != KindPong || seq != 42 {
+		t.Errorf("pong round-trip: kind %q seq %d err %v", kind, seq, err)
+	}
+	if _, _, err := DecodeHeartbeat([]byte(`{"v":2,"kind":"job","seq":1}`)); err == nil {
+		t.Error("DecodeHeartbeat accepted a job frame")
+	}
+}
+
+// TestBatchResultRoundTrip covers both member shapes and the per-member
+// exactly-one-of validation.
+func TestBatchResultRoundTrip(t *testing.T) {
+	m := eval.Measurement{App: "GHZ_n32", Compiler: "MUSS-TI", Qubits: 32, TwoQubit: 31}
+	line, err := EncodeBatchResult([]WireResult{
+		NewWireResult(5, m, nil),
+		NewWireResult(6, eval.Measurement{}, errors.New("boom")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := DecodeBatchResult(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("decoded %d members, want 2", len(results))
+	}
+	if results[0].Seq != 5 || results[0].Err != "" || results[0].Measurement == nil || *results[0].Measurement != m {
+		t.Errorf("measurement member did not round-trip: %+v", results[0])
+	}
+	if results[1].Seq != 6 || results[1].Measurement != nil || results[1].Err != "boom" {
+		t.Errorf("error member did not round-trip: %+v", results[1])
+	}
+	if _, err := EncodeBatchResult(nil); err == nil {
+		t.Error("EncodeBatchResult accepted an empty result set")
+	}
+	if _, err := DecodeBatchResult([]byte(`{"v":2,"kind":"results","results":[{"seq":1}]}`)); err == nil {
+		t.Error("DecodeBatchResult accepted a member with neither outcome")
 	}
 }
 

@@ -1,0 +1,175 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+)
+
+// WorkerLauncher starts the processes a Coordinator manages. The default is
+// local process execution; a launcher that wraps the worker command in a
+// remote shell (CommandLauncher with an ssh prefix, a container runtime, a
+// cluster submit tool) moves the fleet off-machine without the coordinator
+// knowing — the envelope protocol only needs a stdin/stdout byte stream.
+type WorkerLauncher interface {
+	// Launch starts one worker running argv with the given environment (nil
+	// inherits the parent's) and stderr destination, returning a handle over
+	// its protocol streams and lifecycle.
+	Launch(argv, env []string, stderr io.Writer) (WorkerHandle, error)
+}
+
+// WorkerHandle is one launched worker: its protocol streams and the three
+// lifecycle operations the coordinator needs. Implementations must make
+// Wait reap whatever resources the launch claimed (a local process, a
+// remote shell) and tolerate a Kill racing it.
+type WorkerHandle interface {
+	// Stdin is the job-frame stream; closing it asks an idle worker to exit.
+	Stdin() io.WriteCloser
+	// Stdout is the result-frame stream.
+	Stdout() io.Reader
+	// Kill hard-stops the worker.
+	Kill() error
+	// Wait blocks until the worker is gone and reaps it. Call exactly once.
+	Wait() error
+	// Pid is the launched process's id, or -1 when the launcher has none
+	// (diagnostics only; the coordinator never signals it directly).
+	Pid() int
+}
+
+// LocalLauncher runs workers as directly spawned child processes — the
+// default when CoordinatorOptions.Launcher is nil.
+type LocalLauncher struct{}
+
+// Launch implements WorkerLauncher via exec.Command.
+func (LocalLauncher) Launch(argv, env []string, stderr io.Writer) (WorkerHandle, error) {
+	if len(argv) == 0 || argv[0] == "" {
+		return nil, fmt.Errorf("dist: launching worker: empty command")
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = env
+	cmd.Stderr = stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: launching worker: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("dist: launching worker: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: launching worker: %w", err)
+	}
+	return &execHandle{cmd: cmd, stdin: stdin, stdout: stdout}, nil
+}
+
+// CommandLauncher wraps the worker argv in a command prefix before local
+// execution — the ssh-style seam: Prefix {"ssh", "-o", "BatchMode=yes",
+// "build-02"} runs every worker on build-02, with stdin/stdout tunnelling
+// the envelope protocol unchanged. Anything that execs its trailing
+// arguments works the same way (env, nice, a container runtime's exec).
+// Note the prefix command is what runs locally: Kill stops it (ssh tears
+// the remote process down with the session), and Pid is the local wrapper's.
+type CommandLauncher struct {
+	Prefix []string
+}
+
+// Launch implements WorkerLauncher by prepending the prefix to argv.
+func (l CommandLauncher) Launch(argv, env []string, stderr io.Writer) (WorkerHandle, error) {
+	if len(l.Prefix) == 0 || l.Prefix[0] == "" {
+		return nil, fmt.Errorf("dist: launching worker: CommandLauncher needs a command prefix")
+	}
+	full := make([]string, 0, len(l.Prefix)+len(argv))
+	full = append(full, l.Prefix...)
+	full = append(full, argv...)
+	return LocalLauncher{}.Launch(full, env, stderr)
+}
+
+// execHandle adapts an exec.Cmd to WorkerHandle.
+type execHandle struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.Reader
+}
+
+func (h *execHandle) Stdin() io.WriteCloser { return h.stdin }
+func (h *execHandle) Stdout() io.Reader     { return h.stdout }
+
+func (h *execHandle) Kill() error {
+	if h.cmd.Process == nil {
+		return nil
+	}
+	return h.cmd.Process.Kill()
+}
+
+func (h *execHandle) Wait() error { return h.cmd.Wait() }
+
+func (h *execHandle) Pid() int {
+	if h.cmd.Process == nil {
+		return -1
+	}
+	return h.cmd.Process.Pid
+}
+
+// prefixWriter tags every line written through it with a stable prefix
+// ("[w3] ") so interleaved fleet stderr — progress ticks, crash reports —
+// stays attributable to its worker. Output is line-buffered: a partial line
+// is held until its newline arrives, then emitted as a single Write to the
+// underlying writer (which keeps lines whole even when several workers
+// share one destination). Flush emits any held partial line, newline-
+// terminated, so a crashing worker's last words are not lost.
+type prefixWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix []byte
+	buf    []byte // pending bytes of an incomplete line
+}
+
+func newPrefixWriter(w io.Writer, prefix string) *prefixWriter {
+	return &prefixWriter{w: w, prefix: []byte(prefix)}
+}
+
+// Write implements io.Writer. Errors from the underlying writer are
+// reported but the accepted byte count stays len(b): the worker's stderr is
+// best-effort diagnostics, and short-write accounting against the pipe
+// would kill the worker over a logging failure.
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf = append(p.buf, b...)
+	var firstErr error
+	for {
+		i := bytes.IndexByte(p.buf, '\n')
+		if i < 0 {
+			break
+		}
+		line := make([]byte, 0, len(p.prefix)+i+1)
+		line = append(line, p.prefix...)
+		line = append(line, p.buf[:i+1]...)
+		p.buf = p.buf[i+1:]
+		if _, err := p.w.Write(line); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if len(p.buf) == 0 {
+		p.buf = nil // release the backing array between lines
+	}
+	return len(b), firstErr
+}
+
+// Flush emits any buffered partial line with a trailing newline.
+func (p *prefixWriter) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.buf) == 0 {
+		return nil
+	}
+	line := make([]byte, 0, len(p.prefix)+len(p.buf)+1)
+	line = append(line, p.prefix...)
+	line = append(line, p.buf...)
+	line = append(line, '\n')
+	p.buf = nil
+	_, err := p.w.Write(line)
+	return err
+}

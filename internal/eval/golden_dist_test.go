@@ -27,20 +27,39 @@ func TestEvalDistWorkerHelper(t *testing.T) {
 	os.Exit(0)
 }
 
-// TestDistributionEquivalenceGolden runs table2 and fig6 three ways —
+// TestDistributionEquivalenceGolden runs table2 and fig6 several ways —
 // strictly sequential, in-process parallel, and distributed over three
-// worker processes — and requires all three outputs byte-identical. This is
-// the acceptance gate for the whole dist subsystem: scheduling, wire codec,
-// reassembly and memoization may not perturb a single byte of the paper's
-// tables.
+// worker processes at every pipeline setting (lockstep Pipeline=1 and the
+// default window with batch coalescing) — and requires every output
+// byte-identical to the sequential one. This is the acceptance gate for the
+// whole dist subsystem: scheduling, wire codec, pipelined out-of-order
+// completion, batch coalescing, reassembly and memoization may not perturb
+// a single byte of the paper's tables.
 func TestDistributionEquivalenceGolden(t *testing.T) {
-	coord, err := dist.NewCoordinator(3,
-		[]string{os.Args[0], "-test.run=^TestEvalDistWorkerHelper$"},
-		&dist.CoordinatorOptions{Env: append(os.Environ(), "MUSSTI_EVAL_DIST_HELPER=1")})
-	if err != nil {
-		t.Fatal(err)
+	argv := []string{os.Args[0], "-test.run=^TestEvalDistWorkerHelper$"}
+	env := append(os.Environ(), "MUSSTI_EVAL_DIST_HELPER=1")
+	coords := []struct {
+		name  string
+		coord *dist.Coordinator
+	}{}
+	for _, p := range []struct {
+		name string
+		opts dist.CoordinatorOptions
+	}{
+		{"dist-lockstep", dist.CoordinatorOptions{Env: env, Pipeline: 1}},
+		{"dist-pipelined", dist.CoordinatorOptions{Env: env, Pipeline: 4}},
+	} {
+		opts := p.opts
+		coord, err := dist.NewCoordinator(3, argv, &opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer coord.Close()
+		coords = append(coords, struct {
+			name  string
+			coord *dist.Coordinator
+		}{p.name, coord})
 	}
-	defer coord.Close()
 
 	for _, id := range []string{"table2", "fig6"} {
 		e, err := eval.ByID(id)
@@ -58,21 +77,22 @@ func TestDistributionEquivalenceGolden(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s parallel: %v", id, err)
 		}
-
-		distRunner := eval.NewRunner(3)
-		distRunner.SetRemote(coord)
-		distributed, _, err := e.CollectContext(ctx, distRunner)
-		if err != nil {
-			t.Fatalf("%s distributed: %v", id, err)
-		}
-
 		if parallel != sequential {
 			t.Errorf("%s: in-process parallel output differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s",
 				id, sequential, parallel)
 		}
-		if distributed != sequential {
-			t.Errorf("%s: distributed output differs from sequential:\n--- sequential ---\n%s--- distributed ---\n%s",
-				id, sequential, distributed)
+
+		for _, c := range coords {
+			distRunner := eval.NewRunner(3)
+			distRunner.SetRemote(c.coord)
+			distributed, _, err := e.CollectContext(ctx, distRunner)
+			if err != nil {
+				t.Fatalf("%s %s: %v", id, c.name, err)
+			}
+			if distributed != sequential {
+				t.Errorf("%s: %s output differs from sequential:\n--- sequential ---\n%s--- %s ---\n%s",
+					id, c.name, sequential, c.name, distributed)
+			}
 		}
 	}
 }

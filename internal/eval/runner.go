@@ -192,6 +192,19 @@ type RemoteExecutor interface {
 	RunJob(ctx context.Context, j Job) (Measurement, error)
 }
 
+// PipelinedExecutor is a RemoteExecutor that absorbs more than one job per
+// transport endpoint — a dist coordinator keeping a window of envelopes in
+// flight per worker. Capacity reports how many concurrent RunJob calls the
+// executor can hold in flight (workers × pipeline window); SetRemote widens
+// the runner's pool to match, so every window stays full instead of the
+// pool bound throttling dispatch to one job per worker.
+type PipelinedExecutor interface {
+	RemoteExecutor
+	// Capacity is the number of concurrent RunJob calls the executor absorbs
+	// without queueing.
+	Capacity() int
+}
+
 // NewRunner returns a runner with the given concurrency; workers <= 0 means
 // runtime.GOMAXPROCS(0). The cross-experiment measurement cache starts
 // enabled; DisableCache turns it off. A nil *Runner is valid everywhere one
@@ -244,7 +257,20 @@ func (r *Runner) SetProgress(w io.Writer) { r.progress = newProgressSink(w) }
 // via internal/dist, typically). Call it before Run. Per-step progress ticks
 // cannot cross a process boundary, so with a remote set the progress sink
 // reports job completions only.
-func (r *Runner) SetRemote(x RemoteExecutor) { r.remote = x }
+//
+// A PipelinedExecutor widens the pool to its capacity: with dispatch
+// pipelined, the number of jobs profitably in flight is workers × window,
+// not the local core count — the compiles happen in other processes, and a
+// narrower pool would leave windows idle.
+func (r *Runner) SetRemote(x RemoteExecutor) {
+	r.remote = x
+	if p, ok := x.(PipelinedExecutor); ok {
+		if c := p.Capacity(); c > r.workers {
+			r.workers = c
+			r.sem = make(chan struct{}, c)
+		}
+	}
+}
 
 // SetDiskCache backs the runner's measurement cache with a shared on-disk
 // store: cache misses consult dir before compiling, and every compiled
@@ -281,6 +307,70 @@ func (r *Runner) RunJob(ctx context.Context, j Job) (Measurement, error) {
 // applied.
 func (r *Runner) runJob(ctx context.Context, j Job) (Measurement, error) {
 	return r.runJobN(ctx, j, 1)
+}
+
+// RunJobs executes a job list on the calling goroutine, returning every
+// member's measurement and error positionally — unlike Run, no job's
+// failure aborts its neighbours. It is the execution path for coalesced
+// wire batches: a distributed worker (internal/dist) receives several jobs
+// in one envelope and must answer each individually. Same-circuit members
+// group through the shared-prep batch path exactly as Run would group them,
+// behind the same memo and disk-cache layers; if a batch unit fails as a
+// whole, its members re-run individually so each reports its own error. A
+// nil runner executes the jobs bare, in order.
+func (r *Runner) RunJobs(ctx context.Context, jobs []Job) ([]Measurement, []error) {
+	ms := make([]Measurement, len(jobs))
+	errs := make([]error, len(jobs))
+	if r == nil {
+		for i, j := range jobs {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			ms[i], errs[i] = j.run(ctx)
+		}
+		return ms, errs
+	}
+	var done atomic.Int64
+	units := r.planUnits(jobs)
+	for u, unit := range units {
+		// The semaphore bounds this runner's global concurrency budget; one
+		// slot per unit, exactly as Run's workers claim it. Cancellation
+		// while waiting fails every remaining unit — ctx stays done.
+		select {
+		case r.sem <- struct{}{}:
+		case <-ctx.Done():
+			for _, rest := range units[u:] {
+				for _, i := range rest {
+					errs[i] = ctx.Err()
+				}
+			}
+			return ms, errs
+		}
+		if len(unit) == 1 {
+			i := unit[0]
+			extra := 0
+			if r.remote == nil && parallelizable(jobs[i]) {
+				extra = r.borrowSlots(1)
+			}
+			ms[i], errs[i] = r.runJobN(ctx, jobs[i], 1+extra)
+			r.releaseSlots(extra)
+		} else {
+			extra := r.borrowSlots(len(unit) - 1)
+			if err := r.runBatchUnit(ctx, jobs, unit, 1+extra, ms, &done); err != nil {
+				// The unit failed as a whole (first-member attribution); fall
+				// back to per-job execution so every member reports its own
+				// result or error. Members the batch already computed hit the
+				// memo and cost nothing.
+				for _, i := range unit {
+					ms[i], errs[i] = r.runJob(ctx, jobs[i])
+				}
+			}
+			r.releaseSlots(extra)
+		}
+		<-r.sem
+	}
+	return ms, errs
 }
 
 // runJobN is runJob with an intra-compile parallelism bound: parallelism is

@@ -484,11 +484,33 @@ type (
 	// jobs retried.
 	Coordinator = dist.Coordinator
 	// CoordinatorOptions tune fleet behaviour (worker stderr destination,
-	// environment, retry bound); the zero value is ready to use.
+	// environment, retry bound, pipeline window, launcher, heartbeats);
+	// the zero value is ready to use.
 	CoordinatorOptions = dist.CoordinatorOptions
+	// CoordinatorStats is a snapshot of a coordinator's dispatch counters
+	// (jobs dispatched, coalesced batches, retries, worker deaths).
+	CoordinatorStats = dist.CoordinatorStats
+	// WorkerLauncher starts the processes a Coordinator manages; plug a
+	// custom implementation into CoordinatorOptions.Launcher to move the
+	// fleet off-machine.
+	WorkerLauncher = dist.WorkerLauncher
+	// WorkerHandle is one launched worker's protocol streams and
+	// lifecycle, as returned by a WorkerLauncher.
+	WorkerHandle = dist.WorkerHandle
+	// LocalLauncher runs workers as directly spawned child processes —
+	// the default launcher.
+	LocalLauncher = dist.LocalLauncher
+	// CommandLauncher wraps the worker command in an exec-style prefix
+	// ("ssh -o BatchMode=yes build-02", a container runtime, nice) so the
+	// fleet runs wherever the prefix lands it.
+	CommandLauncher = dist.CommandLauncher
 	// RemoteExecutor dispatches one job to an external execution
 	// substrate; Runner.SetRemote accepts any implementation.
 	RemoteExecutor = eval.RemoteExecutor
+	// PipelinedExecutor is a RemoteExecutor whose Capacity reports how
+	// many jobs it absorbs in flight; Runner.SetRemote widens its pool to
+	// match.
+	PipelinedExecutor = eval.PipelinedExecutor
 	// DiskCache is an on-disk measurement store shared by any number of
 	// processes; attach one via Runner.SetDiskCache so repeated runs and
 	// whole worker fleets compile each point once, ever.
