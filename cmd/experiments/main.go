@@ -79,7 +79,10 @@ func realMain() int {
 		return 2
 	}
 	if distN == 0 && (*pipeline > 0 || *launcher != "") {
-		fmt.Fprintln(os.Stderr, "experiments: -pipeline and -launcher need -dist; ignoring")
+		// A fleet flag without a fleet is a misread command line, not a
+		// preference to ignore: fail like any other flag mistake.
+		fmt.Fprintln(os.Stderr, "experiments: -pipeline and -launcher need -dist")
+		return 2
 	}
 
 	// Profiling flags so perf work on the compilers is driven by pprof

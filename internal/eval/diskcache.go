@@ -75,32 +75,47 @@ func (d *DiskCache) path(key string) string {
 	return filepath.Join(d.dir, hex.EncodeToString(sum[:])+".json")
 }
 
-// Get returns the cached measurement for key. Unreadable, corrupt,
-// version-skewed or key-mismatched entries all report a miss — the caller
-// recompiles and Put repairs the entry.
-func (d *DiskCache) Get(key string) (Measurement, bool) {
-	data, err := os.ReadFile(d.path(key))
+// readEntry loads and validates the entry file at path against key: it must
+// parse, carry the current format version and echo the full key. One helper
+// serves both Get (a failed check is a miss) and Put (a failed check means
+// the entry is due for repair), so the two can never disagree about what a
+// valid entry is.
+func (d *DiskCache) readEntry(path, key string) (Measurement, bool) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		d.misses.Add(1)
 		return Measurement{}, false
 	}
 	var e diskEntry
 	if err := json.Unmarshal(data, &e); err != nil || e.V != diskCacheVersion || e.Key != key {
+		return Measurement{}, false
+	}
+	return e.Measurement, true
+}
+
+// Get returns the cached measurement for key. Unreadable, corrupt,
+// version-skewed or key-mismatched entries all report a miss — the caller
+// recompiles and Put repairs the entry.
+func (d *DiskCache) Get(key string) (Measurement, bool) {
+	m, ok := d.readEntry(d.path(key), key)
+	if !ok {
 		d.misses.Add(1)
 		return Measurement{}, false
 	}
 	d.hits.Add(1)
-	return e.Measurement, true
+	return m, true
 }
 
 // Put persists the measurement for key. The write is atomic (temp file +
 // rename within the cache directory), so concurrent writers — including
 // other processes — race benignly: measurements are deterministic functions
 // of their key, so whichever rename lands last installs identical content.
-// An entry already present is left untouched.
+// A valid entry already present is left untouched; an existing entry that
+// fails Get's checks — corrupt, version-skewed, or holding a colliding key —
+// is rewritten, completing Get's documented miss-then-repair contract (a bad
+// file must cost one recompile, not one per run forever).
 func (d *DiskCache) Put(key string, m Measurement) error {
 	path := d.path(key)
-	if _, err := os.Stat(path); err == nil {
+	if _, ok := d.readEntry(path, key); ok {
 		return nil
 	}
 	data, err := json.Marshal(diskEntry{V: diskCacheVersion, Key: key, Measurement: m})

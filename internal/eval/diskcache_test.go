@@ -82,6 +82,110 @@ func TestDiskCacheRejectsCorruptAndForeignEntries(t *testing.T) {
 	}
 }
 
+// TestDiskCachePutRepairsInvalidEntry is the regression test for the Put
+// early-return bug: Put used to skip any existing entry file, so a corrupt,
+// version-skewed or key-collided entry was never repaired and every later
+// run recompiled the point forever. Put must now validate the existing
+// entry with Get's checks and rewrite it when invalid — one recompile, then
+// hits again.
+func TestDiskCachePutRepairsInvalidEntry(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage", "not json"},
+		{"truncated", `{"v":1,"key":"point","measure`},
+		{"version skew", `{"v":99,"key":"point","measurement":{}}`},
+		{"key collision", `{"v":1,"key":"evil","measurement":{}}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			dc, err := NewDiskCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := measurementFor("point")
+			if err := dc.Put("point", want); err != nil {
+				t.Fatal(err)
+			}
+			path := dc.path("point")
+			if err := os.WriteFile(path, []byte(c.data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := dc.Get("point"); ok {
+				t.Fatal("invalid entry reported a hit")
+			}
+			// The miss makes the caller recompile; its Put must repair.
+			if err := dc.Put("point", want); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := dc.Get("point")
+			if !ok || got != want {
+				t.Fatalf("Get after repairing Put: ok=%v, %+v", ok, got)
+			}
+			// A valid entry stays untouched by further Puts (same mtime check
+			// would be flaky; the content check is what matters).
+			if err := dc.Put("point", want); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := dc.Get("point"); !ok || got != want {
+				t.Fatalf("Get after no-op Put: ok=%v, %+v", ok, got)
+			}
+		})
+	}
+}
+
+// TestDiskCacheRepairHelper is the subprocess body of the cross-process
+// repair test below: it Puts the measurement for the key named by the
+// environment into the shared directory. Not a test on its own.
+func TestDiskCacheRepairHelper(t *testing.T) {
+	dir := os.Getenv("MUSSTI_DISKCACHE_REPAIR_DIR")
+	if dir == "" {
+		t.Skip("re-exec helper for TestDiskCacheRepairAcrossProcesses, not a test")
+	}
+	key := os.Getenv("MUSSTI_DISKCACHE_REPAIR_KEY")
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Put(key, measurementFor(key)); err != nil {
+		t.Fatalf("put %s: %v", key, err)
+	}
+}
+
+// TestDiskCacheRepairAcrossProcesses: a corrupt entry left by one process
+// must be repaired by another process's Put (the fleet scenario: a worker
+// finds the shared store corrupted, recompiles, and its Put heals the store
+// for every other worker). The parent corrupts the entry, a fresh OS
+// process Puts, and the parent's next Get must hit.
+func TestDiskCacheRepairAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "cross-point"
+	want := measurementFor(key)
+	if err := dc.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dc.path(key), []byte(`{"v":1,"key":"collided","measurement":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=^TestDiskCacheRepairHelper$")
+	cmd.Env = append(os.Environ(),
+		"MUSSTI_DISKCACHE_REPAIR_DIR="+dir,
+		"MUSSTI_DISKCACHE_REPAIR_KEY="+key)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("repair process failed: %v\n%s", err, out)
+	}
+	got, ok := dc.Get(key)
+	if !ok || got != want {
+		t.Fatalf("Get after cross-process repair: ok=%v, %+v", ok, got)
+	}
+}
+
 // TestDiskCacheConcurrentHammer drives one cache from many goroutines under
 // -race: overlapping Puts and Gets on a small key set must race benignly —
 // every hit returns exactly the measurement its key derives.

@@ -120,10 +120,18 @@ func RunSpecContext(ctx context.Context, spec CompileSpec) (Measurement, error) 
 // row — the single conversion both the per-job path (RunSpecContext) and
 // the batch path (runBatchUnit) go through, so the two can never drift.
 func measurementFrom(spec CompileSpec, comp core.Compiler, c *circuit.Circuit, res *core.Result) Measurement {
+	return MeasurementOf(spec.App, comp, c, res)
+}
+
+// MeasurementOf packages one compile Result as a Measurement row under the
+// given application name — the same conversion every harness path uses,
+// exported for callers that compile outside the registry spec path (the
+// compilation service's ad-hoc QASM circuits).
+func MeasurementOf(app string, comp core.Compiler, c *circuit.Circuit, res *core.Result) Measurement {
 	st := c.Stats()
 	m := res.Metrics
 	return Measurement{
-		App:           spec.App,
+		App:           app,
 		Compiler:      core.CompilerLabel(comp),
 		Qubits:        c.NumQubits,
 		TwoQubit:      st.TwoQubit,

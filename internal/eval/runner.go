@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mussti/internal/core"
 )
@@ -69,6 +70,13 @@ func (j Job) run(ctx context.Context) (Measurement, error) {
 	}
 	return RunSpecContext(ctx, s)
 }
+
+// WithObserver returns a copy of the job with obs attached to its compile
+// configuration — the seam per-request progress streaming (internal/service)
+// hangs on. The cache key is unaffected: Observer is excluded from
+// CompileConfig.CacheKey, so an observed request still coalesces with (and
+// is served by) unobserved ones.
+func (j Job) WithObserver(obs core.Observer) Job { return j.withObserver(obs) }
 
 // withObserver returns a copy of the job with obs attached to its compile
 // configuration; the original job (and its spec) stays untouched, so cache
@@ -177,7 +185,37 @@ type Runner struct {
 	// batch-capable compiler through CompileBatch so they share per-circuit
 	// prep; see planUnits. Output is byte-identical either way.
 	batching bool
+	// hook, when set, observes every job completed through the per-job path;
+	// see SetJobHook.
+	hook func(JobOutcome)
 }
+
+// JobOutcome describes one finished measurement call for telemetry sinks —
+// the compilation service's latency quantiles and hit-rate counters feed on
+// these. It carries outcomes, never results: the measurement itself flows
+// through the normal return path.
+type JobOutcome struct {
+	// Key is the measurement's cache key; empty for uncacheable jobs
+	// (traced runs) and for cache-disabled runners.
+	Key string
+	// Cached reports that the call was served by the memo or disk cache —
+	// coalesced onto an in-flight compile, replayed from memory, or read
+	// from the shared store — without compiling in this call.
+	Cached bool
+	// Wall is the wall-clock latency of the whole call, queueing inside the
+	// memo included.
+	Wall time.Duration
+	// Err is the call's error, nil on success (cancellation included).
+	Err error
+}
+
+// SetJobHook registers fn to observe every job completed through the
+// runner's per-job path: RunJob, RunKeyed, and each singleton unit Run and
+// RunJobs execute. (Members of a grouped batch unit do not report — the
+// experiment CLI's bulk sweeps are not service traffic.) fn is called
+// synchronously from worker goroutines, so it must be cheap and safe for
+// concurrent use. Call it before the runner sees traffic.
+func (r *Runner) SetJobHook(fn func(JobOutcome)) { r.hook = fn }
 
 // RemoteExecutor dispatches one job to an external execution substrate — a
 // fleet of worker processes (internal/dist), a remote service, anything that
@@ -395,20 +433,63 @@ func (r *Runner) runJobN(ctx context.Context, j Job, parallelism int) (Measureme
 	if r.remote != nil {
 		run = func(ctx context.Context) (Measurement, error) { return r.remote.RunJob(ctx, j) }
 	}
+	var start time.Time
+	if r.hook != nil {
+		start = time.Now() //mussti:allow=determinism job-latency telemetry for the hook, never measured output
+	}
 	var m Measurement
 	var err error
 	compiled := true
-	if key, ok := j.cacheKey(); ok && r.memo != nil {
+	key, cacheable := j.cacheKey()
+	if cacheable && r.memo != nil {
 		compiled = false
 		m, err = r.memo.Do(ctx, key, func() (Measurement, error) {
 			compiled = true
 			return run(ctx)
 		})
 	} else {
+		key = ""
 		m, err = run(ctx)
 	}
 	if prog != nil && err == nil {
 		prog.finish(!compiled)
+	}
+	if r.hook != nil {
+		r.hook(JobOutcome{Key: key, Cached: !compiled, Wall: time.Since(start), Err: err}) //mussti:allow=determinism job-latency telemetry for the hook, never measured output
+	}
+	return m, err
+}
+
+// RunKeyed executes fn through the runner's singleflight memo and disk-cache
+// layers under an explicit cache key — the seam for measurements that are
+// not registry Jobs (the compilation service's ad-hoc QASM circuits, keyed
+// by a content hash). Concurrent RunKeyed calls sharing a key coalesce onto
+// one compute exactly like jobs sharing a cache key, and a successful result
+// persists to any attached disk cache under key. Like RunJob it claims no
+// worker-pool slot: admission is the caller's responsibility. A nil runner,
+// a disabled cache or an empty key runs fn directly.
+func (r *Runner) RunKeyed(ctx context.Context, key string, fn func(context.Context) (Measurement, error)) (Measurement, error) {
+	if r == nil {
+		return fn(ctx)
+	}
+	var start time.Time
+	if r.hook != nil {
+		start = time.Now() //mussti:allow=determinism job-latency telemetry for the hook, never measured output
+	}
+	var m Measurement
+	var err error
+	compiled := true
+	if r.memo != nil && key != "" {
+		compiled = false
+		m, err = r.memo.Do(ctx, key, func() (Measurement, error) {
+			compiled = true
+			return fn(ctx)
+		})
+	} else {
+		m, err = fn(ctx)
+	}
+	if r.hook != nil {
+		r.hook(JobOutcome{Key: key, Cached: !compiled, Wall: time.Since(start), Err: err}) //mussti:allow=determinism job-latency telemetry for the hook, never measured output
 	}
 	return m, err
 }

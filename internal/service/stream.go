@@ -1,0 +1,188 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mussti/internal/eval"
+)
+
+// progressTracker is the per-request core.Observer: plain atomic counters
+// the streaming loop snapshots on each tick. Callbacks arrive synchronously
+// on the compiling goroutine, so each is one atomic store or add — cheap
+// enough for the scheduler's inner loop, and safe for the concurrent
+// candidate passes SABRE runs.
+type progressTracker struct {
+	gatesDone  atomic.Int64
+	gatesTotal atomic.Int64
+	shuttles   atomic.Int64
+	evictions  atomic.Int64
+	swaps      atomic.Int64
+}
+
+func (p *progressTracker) GateScheduled(done, total int) {
+	p.gatesDone.Store(int64(done))
+	p.gatesTotal.Store(int64(total))
+}
+func (p *progressTracker) Shuttle(q, from, to int)       { p.shuttles.Add(1) }
+func (p *progressTracker) Eviction(victim, from, to int) { p.evictions.Add(1) }
+func (p *progressTracker) SwapInserted(a, b int)         { p.swaps.Add(1) }
+
+// snapshot freezes the counters into one progress event.
+func (p *progressTracker) snapshot() progressEvent {
+	return progressEvent{
+		Event:      "progress",
+		GatesDone:  p.gatesDone.Load(),
+		GatesTotal: p.gatesTotal.Load(),
+		Shuttles:   p.shuttles.Load(),
+		Evictions:  p.evictions.Load(),
+		Swaps:      p.swaps.Load(),
+	}
+}
+
+// Streamed responses are a sequence of events: one "accepted", zero or more
+// "progress" ticks, then exactly one "done" or "error". Non-streamed
+// responses are the bare doneEvent (or errorEvent) JSON object.
+type acceptedEvent struct {
+	Event string `json:"event"`
+	Label string `json:"label"`
+}
+
+type progressEvent struct {
+	Event      string `json:"event"`
+	GatesDone  int64  `json:"gates_done"`
+	GatesTotal int64  `json:"gates_total"`
+	Shuttles   int64  `json:"shuttles"`
+	Evictions  int64  `json:"evictions"`
+	Swaps      int64  `json:"swaps"`
+}
+
+type doneEvent struct {
+	Event  string `json:"event"`
+	Result result `json:"result"`
+}
+
+type errorEvent struct {
+	Event string `json:"event"`
+	Error string `json:"error"`
+}
+
+// result is the JSON rendering of one eval.Measurement.
+type result struct {
+	App           string  `json:"app"`
+	Compiler      string  `json:"compiler"`
+	Qubits        int     `json:"qubits"`
+	TwoQubit      int     `json:"two_qubit_gates"`
+	Shuttles      int     `json:"shuttles"`
+	ChainSwaps    int     `json:"chain_swaps"`
+	InsertedSwaps int     `json:"inserted_swaps"`
+	FiberGates    int     `json:"fiber_gates"`
+	TimeUS        float64 `json:"time_us"`
+	Fidelity      float64 `json:"fidelity"`
+	Log10F        float64 `json:"log10_fidelity"`
+	CompileMS     float64 `json:"compile_ms"`
+}
+
+func resultOf(m eval.Measurement) result {
+	return result{
+		App:           m.App,
+		Compiler:      m.Compiler,
+		Qubits:        m.Qubits,
+		TwoQubit:      m.TwoQubit,
+		Shuttles:      m.Shuttles,
+		ChainSwaps:    m.ChainSwaps,
+		InsertedSwaps: m.InsertedSwaps,
+		FiberGates:    m.FiberGates,
+		TimeUS:        m.TimeUS,
+		Fidelity:      m.Fidelity,
+		Log10F:        m.Log10F,
+		CompileMS:     float64(m.CompileTime) / float64(time.Millisecond),
+	}
+}
+
+// eventWriter frames events onto the response: SSE `data:` frames when the
+// client asked for text/event-stream, newline-delimited JSON otherwise. Each
+// event is flushed immediately so progress reaches the client mid-compile.
+type eventWriter struct {
+	w   http.ResponseWriter
+	f   http.Flusher
+	sse bool
+}
+
+func newEventWriter(w http.ResponseWriter, r *http.Request) *eventWriter {
+	ew := &eventWriter{w: w}
+	ew.f, _ = w.(http.Flusher)
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		ew.sse = true
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	return ew
+}
+
+// write frames one event. Write errors are ignored: a failed write means the
+// client is gone, and the request context tears the compile down.
+func (e *eventWriter) write(v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	if e.sse {
+		fmt.Fprintf(e.w, "data: %s\n\n", data)
+	} else {
+		e.w.Write(append(data, '\n'))
+	}
+	if e.f != nil {
+		e.f.Flush()
+	}
+}
+
+// streamCompile runs the task on a worker goroutine and streams progress
+// events until it finishes. The compile runs under the request context, so a
+// client disconnect cancels it within one scheduler step; the final receive
+// from done joins the goroutine on every exit path — no compile outlives its
+// request unobserved (coalesced followers detach, but the memo leader hands
+// off to them, and the last interested request's cancellation stops it).
+func (s *Server) streamCompile(w http.ResponseWriter, r *http.Request, t task) {
+	ctx := r.Context()
+	obs := &progressTracker{}
+	type outcome struct {
+		m   eval.Measurement
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		m, err := t.run(ctx, obs)
+		done <- outcome{m, err}
+	}()
+
+	ew := newEventWriter(w, r)
+	ew.write(acceptedEvent{Event: "accepted", Label: t.label})
+	ticker := time.NewTicker(s.streamInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case o := <-done:
+			if o.err != nil {
+				ew.write(errorEvent{Event: "error", Error: o.err.Error()})
+				return
+			}
+			ew.write(obs.snapshot())
+			ew.write(doneEvent{Event: "done", Result: resultOf(o.m)})
+			return
+		case <-ticker.C:
+			ew.write(obs.snapshot())
+		case <-ctx.Done():
+			// Client gone: the compile is aborting on the same context; wait
+			// for it so the goroutine never leaks past the handler.
+			<-done
+			return
+		}
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"mussti/internal/dist"
 	"mussti/internal/eval"
 	"mussti/internal/physics"
+	"mussti/internal/service"
 	"mussti/internal/sim"
 )
 
@@ -542,3 +543,29 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, runner *Runner) 
 // NewDiskCache opens (creating if needed) a shared on-disk measurement
 // cache directory; attach it with Runner.SetDiskCache.
 func NewDiskCache(dir string) (*DiskCache, error) { return eval.NewDiskCache(dir) }
+
+// Compilation as a service: the compiler behind an HTTP+JSON endpoint. A
+// Service wraps a Runner, so every harness layer carries over — concurrent
+// identical requests coalesce through the measurement memo, results persist
+// to an attached DiskCache, and a Coordinator fleet compiles remote when the
+// Runner has one set. See cmd/musstid for the ready-made server binary.
+type (
+	// Service is the HTTP compilation service; it implements http.Handler.
+	// Endpoints: POST /v1/compile (built-in benchmark or inline QASM,
+	// optionally streaming progress events), GET /v1/compilers,
+	// GET /v1/benchmarks, GET /metrics, GET /healthz.
+	Service = service.Server
+	// ServiceOptions configures a Service: the Runner (required), an
+	// optional Coordinator for fleet metrics, admission bounds and the
+	// progress streaming cadence.
+	ServiceOptions = service.Options
+	// ServiceMetrics is the GET /metrics response: request and cache
+	// counters, compile-latency quantiles, admission gauges and fleet
+	// health.
+	ServiceMetrics = service.MetricsSnapshot
+)
+
+// NewService builds a compilation service over opts.Runner. The service
+// installs its metrics collector as the runner's job hook, so the runner
+// must not have another SetJobHook consumer.
+func NewService(opts ServiceOptions) (*Service, error) { return service.New(opts) }
